@@ -1,0 +1,13 @@
+"""Benchmark collection configuration.
+
+The benchmark files are named ``bench_*.py`` (one per paper table/figure);
+this conftest registers that pattern and puts the directory on the import
+path so they can share :mod:`common`.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+collect_ignore = ["common.py"]

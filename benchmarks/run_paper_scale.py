@@ -1,0 +1,67 @@
+"""Paper-scale verification runs (not part of the default benchmark sweep).
+
+The paper's flagship configurations: reorder buffers of 512–1,500 entries
+with issue/retire widths up to 128.  These take minutes to tens of minutes
+in pure Python; run directly:
+
+    python benchmarks/run_paper_scale.py [--max-rob 1500]
+
+Results are appended to ``benchmarks/results/paper_scale.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+
+from repro import ProcessorConfig, verify
+
+from common import RESULTS_DIR
+
+CONFIGS = [
+    (512, 16),
+    (1024, 32),
+    (1500, 16),   # the paper's headline ROB size (minutes)
+    (1500, 128),  # the paper's largest configuration (about an hour;
+                  # dominated by the k^2 cost of the fetched-instruction
+                  # part of the reduced formula)
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--max-rob", type=int, default=1500)
+    args = parser.parse_args()
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "paper_scale.txt"
+    header = (
+        f"{'config':>16}  {'simulate':>9}  {'rewrite':>8}  {'translate':>9}  "
+        f"{'SAT':>7}  {'total':>8}  {'clauses':>8}  {'peak GB':>8}"
+    )
+    print(header)
+    lines = [header]
+    for n, k in CONFIGS:
+        if n > args.max_rob:
+            continue
+        result = verify(ProcessorConfig(n_rob=n, issue_width=k))
+        if not result.correct:
+            print(f"N={n},k={k}: verification FAILED", file=sys.stderr)
+            return 1
+        t = result.timings
+        peak_gb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1e6
+        line = (
+            f"{f'N={n}, k={k}':>16}  {t['simulate']:>8.1f}s  "
+            f"{t['rewrite']:>7.1f}s  {t['translate']:>8.2f}s  "
+            f"{t['sat']:>6.2f}s  {t['total']:>7.1f}s  "
+            f"{result.encoding_stats.cnf_clauses:>8}  {peak_gb:>8.2f}"
+        )
+        print(line, flush=True)
+        lines.append(line)
+    out_path.write_text("\n".join(lines) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

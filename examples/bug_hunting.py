@@ -1,0 +1,68 @@
+"""Bug hunting: how each defect class surfaces in the verification flow.
+
+Reproduces the spirit of the paper's Sect. 7.2 experiment (a forwarding
+bug at the 72nd of 128 reorder-buffer entries, flagged by the rewriting
+rules in seconds) across the full defect family of
+:mod:`repro.processor.bugs`:
+
+* data-path defects (forwarding, hazard, retirement) are caught by the
+  rewriting rules, which name the exact offending computation slice;
+* control defects outside the ROB data path (the PC update) pass the
+  rewriting rules and are caught by the SAT check on the reduced formula;
+* on small configurations, every verdict is cross-checked against the
+  Positive-Equality-only flow to confirm no defect is a false negative.
+
+Run:  python examples/bug_hunting.py
+"""
+
+from repro import Bug, BugKind, ProcessorConfig, verify
+
+LARGE = ProcessorConfig(n_rob=32, issue_width=4)
+SMALL = ProcessorConfig(n_rob=2, issue_width=1)
+
+DEFECTS = [
+    Bug(BugKind.FORWARD_WRONG_SOURCE, entry=18, operand=1),
+    Bug(BugKind.FORWARD_STALE_RESULT, entry=25, operand=2),
+    Bug(BugKind.EXECUTE_IGNORES_HAZARD, entry=7),
+    Bug(BugKind.RETIRE_WITHOUT_RESULT, entry=3),
+    Bug(BugKind.RETIRE_OUT_OF_ORDER, entry=2),
+    Bug(BugKind.RETIRE_IGNORES_VALID, entry=1),
+    Bug(BugKind.PC_SINGLE_INCREMENT),
+]
+
+
+def main() -> None:
+    print(f"Design under test: {LARGE.describe()}\n")
+    for bug in DEFECTS:
+        result = verify(LARGE, bug=bug)
+        if result.suspected_entry is not None:
+            outcome = (
+                f"rewriting flagged slice {result.suspected_entry} "
+                f"({result.failure_detail.split(':')[0]} rule) "
+                f"in {result.timings['total']:.2f}s"
+            )
+        elif not result.correct:
+            outcome = (
+                "passed rewriting; reduced-formula SAT check found a "
+                f"counterexample in {result.timings['total']:.2f}s"
+            )
+        else:
+            outcome = "NOT DETECTED (unexpected!)"
+        print(f"  {bug.describe():50s} -> {outcome}")
+
+    print("\nCross-checking against Positive Equality only "
+          f"({SMALL.describe()}):")
+    for kind in (BugKind.FORWARD_WRONG_SOURCE, BugKind.RETIRE_WITHOUT_RESULT):
+        bug = Bug(kind, entry=2 if kind == BugKind.FORWARD_WRONG_SOURCE else 1)
+        by_rules = verify(SMALL, bug=bug)
+        by_pe = verify(SMALL, method="positive_equality", bug=bug)
+        agree = "agree" if by_rules.correct == by_pe.correct else "DISAGREE"
+        print(
+            f"  {bug.kind:25s} rewriting={'buggy' if not by_rules.correct else 'ok'}"
+            f"  positive-equality={'buggy' if not by_pe.correct else 'ok'}"
+            f"  -> methods {agree}"
+        )
+
+
+if __name__ == "__main__":
+    main()

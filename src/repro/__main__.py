@@ -1,0 +1,105 @@
+"""Command-line interface: ``python -m repro [options]``.
+
+Examples::
+
+    python -m repro --rob 64 --width 8
+    python -m repro --rob 128 --width 4 --bug forward-wrong-source --entry 72
+    python -m repro --rob 2 --width 1 --method positive_equality
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import verify
+from .processor.bugs import Bug, BugKind
+from .processor.params import ProcessorConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Formally verify an abstract out-of-order processor with a "
+            "reorder buffer (Velev, DATE 2002 reproduction)."
+        ),
+    )
+    parser.add_argument(
+        "--rob", type=int, default=16, help="reorder-buffer size N (default 16)"
+    )
+    parser.add_argument(
+        "--width", type=int, default=4, help="issue width k (default 4)"
+    )
+    parser.add_argument(
+        "--retire-width",
+        type=int,
+        default=None,
+        help="retire width l (default: same as the issue width)",
+    )
+    parser.add_argument(
+        "--method",
+        choices=("rewriting", "positive_equality"),
+        default="rewriting",
+        help="verification method (default: rewriting)",
+    )
+    parser.add_argument(
+        "--criterion",
+        choices=("disjunction", "case_split"),
+        default="disjunction",
+        help="correctness criterion (default: the paper's disjunction)",
+    )
+    parser.add_argument(
+        "--bug",
+        choices=BugKind.ALL,
+        default=None,
+        help="plant a defect before verifying",
+    )
+    parser.add_argument(
+        "--entry", type=int, default=1, help="ROB entry the defect applies to"
+    )
+    parser.add_argument(
+        "--operand",
+        type=int,
+        choices=(1, 2),
+        default=1,
+        help="data operand the defect applies to",
+    )
+    parser.add_argument(
+        "--sat-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abort when SAT solving exceeds this budget",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ProcessorConfig(
+        n_rob=args.rob,
+        issue_width=args.width,
+        retire_width=args.retire_width,
+    )
+    bug = None
+    if args.bug is not None:
+        bug = Bug(args.bug, entry=args.entry, operand=args.operand)
+        print(f"Planted defect: {bug.describe()}")
+    try:
+        result = verify(
+            config,
+            method=args.method,
+            bug=bug,
+            criterion=args.criterion,
+            max_seconds=args.sat_budget,
+        )
+    except TimeoutError as exc:
+        print(f"aborted: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    return 0 if result.correct else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

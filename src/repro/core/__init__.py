@@ -1,0 +1,13 @@
+"""Top-level verification API: :func:`verify` and result/report types."""
+
+from .reporting import render_matrix, render_rows
+from .results import VerificationResult
+from .verifier import METHODS, verify
+
+__all__ = [
+    "render_matrix",
+    "render_rows",
+    "VerificationResult",
+    "METHODS",
+    "verify",
+]

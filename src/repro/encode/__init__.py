@@ -1,0 +1,42 @@
+"""The Positive-Equality EUFM-to-propositional encoding (the EVC tool).
+
+Pipeline stages: memory elimination/abstraction, polarity classification,
+nested-ITE UF/UP elimination, the ``e_ij`` equality encoding with maximal
+diversity for p-variables, transitivity constraints, and the end-to-end
+:func:`check_validity` driver.
+"""
+
+from .eij import EijResult, encode_equalities
+from .evc import (
+    EncodedValidity,
+    EncodingStats,
+    ValidityResult,
+    check_validity,
+    decode_model,
+    encode_validity,
+)
+from .memory_elim import (
+    MemoryElimResult,
+    abstract_memories_conservative,
+    eliminate_memories,
+)
+from .transitivity import TransitivityResult, transitivity_constraints
+from .uf_elim import UFElimResult, eliminate_uf
+
+__all__ = [
+    "EijResult",
+    "encode_equalities",
+    "EncodedValidity",
+    "EncodingStats",
+    "ValidityResult",
+    "check_validity",
+    "decode_model",
+    "encode_validity",
+    "MemoryElimResult",
+    "abstract_memories_conservative",
+    "eliminate_memories",
+    "TransitivityResult",
+    "transitivity_constraints",
+    "UFElimResult",
+    "eliminate_uf",
+]

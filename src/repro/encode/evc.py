@@ -1,0 +1,211 @@
+"""EVC-style end-to-end translation: EUFM validity -> CNF unsatisfiability.
+
+The pipeline reproduces the tool flow of the paper (Sect. 2 and 7):
+
+1. memory elimination — precise (forwarding-aware) or conservative
+   (``read``/``write`` as general UFs; used on the rewritten formulas);
+2. Positive-Equality polarity classification;
+3. nested-ITE elimination of UFs and UPs;
+4. ``e_ij`` encoding of the remaining equations with maximal diversity for
+   p-variables;
+5. transitivity constraints over the ``e_ij`` comparison graph;
+6. negation + Tseitin translation to CNF.
+
+The resulting CNF is unsatisfiable exactly when the EUFM formula is valid
+(for the positively-occurring-memory-equation shape of Burch–Dill
+correctness formulas).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..eufm import builder
+from ..eufm.ast import FALSE, TRUE, BoolVar, Formula, TermVar
+from ..eufm.polarity import PolarityInfo, classify
+from ..eufm.traversal import bool_variables, term_variables
+from ..sat.cnf import Cnf
+from ..sat.solver import SatResult, solve_cnf
+from ..sat.tseitin import TseitinResult, cnf_for_satisfiability
+from .eij import EijResult, encode_equalities
+from .memory_elim import (
+    MemoryElimResult,
+    abstract_memories_conservative,
+    eliminate_memories,
+)
+from .transitivity import TransitivityResult, transitivity_constraints
+from .uf_elim import UFElimResult, eliminate_uf
+
+__all__ = ["EncodingStats", "EncodedValidity", "ValidityResult", "encode_validity", "check_validity"]
+
+
+@dataclass
+class EncodingStats:
+    """CNF statistics in the layout of Tables 3 and 5 of the paper."""
+
+    eij_primary: int = 0
+    other_primary: int = 0
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+    translate_seconds: float = 0.0
+
+    @property
+    def total_primary(self) -> int:
+        return self.eij_primary + self.other_primary
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "eij_primary": self.eij_primary,
+            "other_primary": self.other_primary,
+            "total_primary": self.total_primary,
+            "cnf_vars": self.cnf_vars,
+            "cnf_clauses": self.cnf_clauses,
+            "translate_seconds": round(self.translate_seconds, 4),
+        }
+
+
+@dataclass
+class EncodedValidity:
+    """All artifacts of the EUFM -> CNF translation."""
+
+    cnf: Cnf
+    stats: EncodingStats
+    propositional: Formula
+    tseitin: Optional[TseitinResult] = None
+    memory: Optional[MemoryElimResult] = None
+    polarity: Optional[PolarityInfo] = None
+    uf_elim: Optional[UFElimResult] = None
+    eij: Optional[EijResult] = None
+    transitivity: Optional[TransitivityResult] = None
+    #: set when the formula collapsed to a constant before CNF.
+    constant_validity: Optional[bool] = None
+
+
+@dataclass
+class ValidityResult:
+    """Outcome of a full validity check."""
+
+    valid: bool
+    encoded: EncodedValidity
+    sat_result: Optional[SatResult] = None
+    counterexample: Optional[Dict[str, bool]] = None
+
+    @property
+    def solve_seconds(self) -> float:
+        return self.sat_result.cpu_seconds if self.sat_result else 0.0
+
+
+def encode_validity(
+    phi: Formula,
+    memory_mode: str = "precise",
+    cnf_encoding: str = "polarity",
+) -> EncodedValidity:
+    """Translate the EUFM validity problem for ``phi`` into CNF.
+
+    ``cnf_encoding`` selects the final clause translation: ``"polarity"``
+    (Plaisted–Greenbaum, the default — directional definition clauses) or
+    ``"full"`` (bidirectional Tseitin).
+    """
+    if memory_mode not in ("precise", "conservative"):
+        raise ValueError(f"unknown memory mode {memory_mode!r}")
+    if cnf_encoding not in ("polarity", "full"):
+        raise ValueError(f"unknown CNF encoding {cnf_encoding!r}")
+    start = time.perf_counter()
+    stats = EncodingStats()
+
+    if memory_mode == "conservative":
+        memory_result = None
+        phi_no_mem = abstract_memories_conservative(phi)
+    else:
+        memory_result = eliminate_memories(phi)
+        phi_no_mem = memory_result.formula
+
+    polarity = classify(phi_no_mem)
+    uf_result = eliminate_uf(phi_no_mem, polarity)
+
+    g_vars: Set[TermVar] = set(polarity.g_vars) | uf_result.fresh_g_vars
+    eij_result = encode_equalities(uf_result.formula, g_vars)
+    trans_result = transitivity_constraints(eij_result.eij_vars)
+
+    prop = eij_result.formula
+    negated = builder.and_(builder.not_(prop), *trans_result.constraints)
+
+    tseitin_result = cnf_for_satisfiability(
+        negated, polarity_aware=(cnf_encoding == "polarity")
+    )
+    stats.translate_seconds = time.perf_counter() - start
+
+    total_eij = len(eij_result.eij_vars) + len(trans_result.fill_vars)
+    stats.eij_primary = sum(
+        1
+        for var in tseitin_result.var_map
+        if var.name.startswith("eij!")
+    )
+    stats.other_primary = len(tseitin_result.var_map) - stats.eij_primary
+    stats.cnf_vars = tseitin_result.cnf.num_vars
+    stats.cnf_clauses = tseitin_result.cnf.num_clauses
+
+    encoded = EncodedValidity(
+        cnf=tseitin_result.cnf,
+        stats=stats,
+        propositional=prop,
+        tseitin=tseitin_result,
+        memory=memory_result,
+        polarity=polarity,
+        uf_elim=uf_result,
+        eij=eij_result,
+        transitivity=trans_result,
+    )
+    if negated is TRUE:
+        encoded.constant_validity = False
+    elif negated is FALSE:
+        encoded.constant_validity = True
+    return encoded
+
+
+def check_validity(
+    phi: Formula,
+    memory_mode: str = "precise",
+    cnf_encoding: str = "polarity",
+    max_conflicts: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+) -> ValidityResult:
+    """Encode ``phi`` and decide its validity with the CDCL solver."""
+    encoded = encode_validity(
+        phi, memory_mode=memory_mode, cnf_encoding=cnf_encoding
+    )
+    if encoded.constant_validity is not None:
+        return ValidityResult(valid=encoded.constant_validity, encoded=encoded)
+    sat_result = solve_cnf(
+        encoded.cnf, max_conflicts=max_conflicts, max_seconds=max_seconds
+    )
+    if sat_result.status == "unknown":
+        raise TimeoutError(
+            "SAT budget exhausted before the validity check completed "
+            f"({sat_result.conflicts} conflicts, "
+            f"{sat_result.cpu_seconds:.1f}s)"
+        )
+    valid = sat_result.is_unsat
+    counterexample = None
+    if sat_result.is_sat:
+        counterexample = decode_model(encoded, sat_result.model)
+    return ValidityResult(
+        valid=valid,
+        encoded=encoded,
+        sat_result=sat_result,
+        counterexample=counterexample,
+    )
+
+
+def decode_model(
+    encoded: EncodedValidity, model: Dict[int, bool]
+) -> Dict[str, bool]:
+    """Map a SAT model back to named EUFM Boolean/e_ij variables."""
+    assert encoded.tseitin is not None
+    assignment: Dict[str, bool] = {}
+    for var, index in encoded.tseitin.var_map.items():
+        if index in model:
+            assignment[var.name] = model[index]
+    return assignment

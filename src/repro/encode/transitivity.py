@@ -1,0 +1,92 @@
+"""Transitivity constraints for the ``e_ij`` encoding (Bryant & Velev,
+"Boolean Satisfiability with Transitivity Constraints", TOCL).
+
+A propositional model of the encoded formula must correspond to *some*
+assignment of values to the g-variables, i.e. the relation induced by the
+``e_ij`` variables must be embeddable in an equivalence relation.  It
+suffices to enforce triangle consistency over a *chordal* supergraph of the
+comparison graph: for every triangle ``{a, b, c}``,
+
+    e_ab AND e_bc  ->  e_ac        (three rotations).
+
+The comparison graph is chordalized by greedy minimum-degree vertex
+elimination; fill edges introduce fresh ``e_ij`` variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..eufm import builder
+from ..eufm.ast import BoolVar, Formula, TermVar
+
+__all__ = ["TransitivityResult", "transitivity_constraints"]
+
+
+@dataclass
+class TransitivityResult:
+    """Triangle constraints plus the fill variables that were added."""
+
+    constraints: List[Formula] = field(default_factory=list)
+    fill_vars: Dict[FrozenSet[TermVar], BoolVar] = field(default_factory=dict)
+    triangles: List[Tuple[TermVar, TermVar, TermVar]] = field(
+        default_factory=list
+    )
+
+
+def transitivity_constraints(
+    eij_vars: Dict[FrozenSet[TermVar], BoolVar],
+) -> TransitivityResult:
+    """Build triangle constraints making the ``e_ij`` encoding complete."""
+    result = TransitivityResult()
+    edges: Dict[FrozenSet[TermVar], BoolVar] = dict(eij_vars)
+    adjacency: Dict[TermVar, Set[TermVar]] = {}
+    for pair in edges:
+        a, b = tuple(pair)
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+
+    def edge_var(a: TermVar, b: TermVar) -> BoolVar:
+        pair = frozenset((a, b))
+        if pair not in edges:
+            low, high = sorted((a.name, b.name))
+            fresh = builder.bvar(f"eij!{low}!{high}")
+            edges[pair] = fresh
+            result.fill_vars[pair] = fresh
+        return edges[pair]
+
+    remaining = dict(adjacency)
+    emitted: Set[FrozenSet[TermVar]] = set()
+    while remaining:
+        # Greedy minimum-degree elimination (ties by name for determinism).
+        vertex = min(remaining, key=lambda v: (len(remaining[v]), v.name))
+        neighbors = sorted(remaining.pop(vertex), key=lambda v: v.name)
+        for index, first in enumerate(neighbors):
+            for second in neighbors[index + 1 :]:
+                # Fill edge between the neighbors, then the triangle.
+                pair = frozenset((first, second))
+                edge_var(first, second)
+                remaining.setdefault(first, set()).add(second)
+                remaining.setdefault(second, set()).add(first)
+                triangle = frozenset((vertex, first, second))
+                if triangle in emitted:
+                    continue
+                emitted.add(triangle)
+                result.triangles.append((vertex, first, second))
+                e_vf = edge_var(vertex, first)
+                e_vs = edge_var(vertex, second)
+                e_fs = edge_var(first, second)
+                result.constraints.append(
+                    builder.implies(builder.and_(e_vf, e_vs), e_fs)
+                )
+                result.constraints.append(
+                    builder.implies(builder.and_(e_vf, e_fs), e_vs)
+                )
+                result.constraints.append(
+                    builder.implies(builder.and_(e_vs, e_fs), e_vf)
+                )
+        for neighbor in neighbors:
+            if neighbor in remaining:
+                remaining[neighbor].discard(vertex)
+    return result

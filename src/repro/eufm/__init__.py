@@ -1,0 +1,142 @@
+"""EUFM — the logic of Equality with Uninterpreted Functions and Memories.
+
+This package is the logical substrate of the reproduction: hash-consed
+expression DAGs, smart constructors, traversal utilities, polarity
+(Positive Equality) classification, memory-chain utilities, a concrete
+evaluator used as semantic ground truth in tests, and an S-expression
+printer/parser pair.
+"""
+
+from .ast import (
+    FALSE,
+    TRUE,
+    And,
+    BoolConst,
+    BoolVar,
+    Eq,
+    Expr,
+    Formula,
+    FormulaITE,
+    Not,
+    Or,
+    Read,
+    Term,
+    TermITE,
+    TermVar,
+    UFApp,
+    UPApp,
+    Write,
+    clear_intern_cache,
+    interned_count,
+)
+from .builder import (
+    and_,
+    bvar,
+    eq,
+    iff,
+    implies,
+    ite_formula,
+    ite_term,
+    not_,
+    or_,
+    read,
+    tvar,
+    uf,
+    up,
+    write,
+    xor,
+)
+from .evaluator import Interpretation, MemVal, SortError, evaluate
+from .memory import Update, apply_updates, chain_read, collect_updates, push_read
+from .parser import ParseError, parse
+from .polarity import BOTH, NEG, POS, PolarityInfo, classify
+from .printer import pretty, to_sexpr
+from .traversal import (
+    bool_variables,
+    dag_depth,
+    equations,
+    expression_stats,
+    function_symbols,
+    iter_dag,
+    map_dag,
+    memory_nodes,
+    node_count,
+    predicate_symbols,
+    substitute,
+    term_variables,
+)
+
+__all__ = [
+    # ast
+    "FALSE",
+    "TRUE",
+    "And",
+    "BoolConst",
+    "BoolVar",
+    "Eq",
+    "Expr",
+    "Formula",
+    "FormulaITE",
+    "Not",
+    "Or",
+    "Read",
+    "Term",
+    "TermITE",
+    "TermVar",
+    "UFApp",
+    "UPApp",
+    "Write",
+    "clear_intern_cache",
+    "interned_count",
+    # builder
+    "and_",
+    "bvar",
+    "eq",
+    "iff",
+    "implies",
+    "ite_formula",
+    "ite_term",
+    "not_",
+    "or_",
+    "read",
+    "tvar",
+    "uf",
+    "up",
+    "write",
+    "xor",
+    # evaluator
+    "Interpretation",
+    "MemVal",
+    "SortError",
+    "evaluate",
+    # memory
+    "Update",
+    "apply_updates",
+    "chain_read",
+    "collect_updates",
+    "push_read",
+    # parser / printer
+    "ParseError",
+    "parse",
+    "pretty",
+    "to_sexpr",
+    # polarity
+    "BOTH",
+    "NEG",
+    "POS",
+    "PolarityInfo",
+    "classify",
+    # traversal
+    "bool_variables",
+    "dag_depth",
+    "equations",
+    "expression_stats",
+    "function_symbols",
+    "iter_dag",
+    "map_dag",
+    "memory_nodes",
+    "node_count",
+    "predicate_symbols",
+    "substitute",
+    "term_variables",
+]

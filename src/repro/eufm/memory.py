@@ -1,0 +1,107 @@
+"""Utilities over EUFM memory terms.
+
+A memory state in the correctness formulas is always a *guarded write
+chain*: the initial state (a term variable) followed by conditional writes
+``ITE(context, write(prev, addr, data), prev)``.  This module converts
+between the chain form and an explicit update list — the
+``<context, address, data>`` triples of Fig. 2 in the paper — and implements
+read-over-write pushing (the forwarding property of the memory semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from . import builder
+from .ast import Expr, Formula, Read, Term, TermITE, TermVar, Write, TRUE
+
+__all__ = ["Update", "collect_updates", "apply_updates", "push_read", "chain_read"]
+
+
+@dataclass(frozen=True)
+class Update:
+    """One conditional memory update: ``<context, address, data>``."""
+
+    context: Formula
+    addr: Term
+    data: Term
+
+    def as_write(self, prev: Term) -> Term:
+        """Re-apply this update on top of memory state ``prev``."""
+        return builder.ite_term(
+            self.context, builder.write(prev, self.addr, self.data), prev
+        )
+
+    def with_context(self, context: Formula) -> "Update":
+        return Update(context, self.addr, self.data)
+
+
+def collect_updates(mem: Term) -> Tuple[Term, List[Update]]:
+    """Decompose a guarded write chain into ``(base, updates)``.
+
+    Updates are returned oldest-first, so
+    ``apply_updates(base, updates) == mem`` (up to the builder's local
+    simplification).  Raises :class:`ValueError` when ``mem`` is not in
+    chain form (e.g. an ITE whose branches diverge in more than the top
+    write).
+    """
+    updates: List[Update] = []
+    node = mem
+    while True:
+        if isinstance(node, Write):
+            updates.append(Update(TRUE, node.addr, node.data))
+            node = node.mem
+            continue
+        if isinstance(node, TermITE):
+            then, els = node.then, node.els
+            if isinstance(then, Write) and then.mem is els:
+                updates.append(Update(node.cond, then.addr, then.data))
+                node = els
+                continue
+            if isinstance(els, Write) and els.mem is then:
+                updates.append(Update(builder.not_(node.cond), els.addr, els.data))
+                node = then
+                continue
+            raise ValueError("memory term is not a guarded write chain")
+        break
+    updates.reverse()
+    return node, updates
+
+
+def apply_updates(base: Term, updates: List[Update]) -> Term:
+    """Rebuild a guarded write chain from ``base`` and oldest-first updates."""
+    mem = base
+    for update in updates:
+        mem = update.as_write(mem)
+    return mem
+
+
+def chain_read(base: Term, updates: List[Update], addr: Term) -> Term:
+    """``read(apply_updates(base, updates), addr)`` as a linear ITE chain.
+
+    Scans the updates newest-first: the value is the data of the most
+    recent update whose context holds and whose address equals ``addr``,
+    and otherwise the read from the base state.
+    """
+    result = builder.read(base, addr)
+    for update in updates:
+        hit = builder.and_(update.context, builder.eq(update.addr, addr))
+        result = builder.ite_term(hit, update.data, result)
+    return result
+
+
+def push_read(node: Term) -> Term:
+    """Push a single ``read`` through the write chain beneath it.
+
+    ``read(write(m, a, d), b)`` becomes ``ITE(a = b, d, read(m, b))``;
+    guarded writes produce the corresponding guarded ITEs.  If ``node`` is
+    not a read over a chain, it is returned unchanged.
+    """
+    if not isinstance(node, Read):
+        return node
+    try:
+        base, updates = collect_updates(node.mem)
+    except ValueError:
+        return node
+    return chain_read(base, updates, node.addr)

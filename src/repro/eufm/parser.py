@@ -1,0 +1,178 @@
+"""Parser for the S-expression format produced by :mod:`repro.eufm.printer`.
+
+The grammar is tiny; the parser is a hand-written recursive-descent reader
+over a token stream, with the recursion replaced by an explicit stack so
+deep expressions parse without hitting the interpreter recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from . import builder
+from .ast import Expr, FALSE, TRUE, Formula, Term
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised when the input is not a well-formed EUFM S-expression."""
+
+
+_Token = str
+_SExpr = Union[str, List["_SExpr"]]
+
+
+def parse(text: str) -> Expr:
+    """Parse ``text`` into an interned EUFM expression."""
+    tokens = _tokenize(text)
+    tree, rest = _read(tokens, 0)
+    if rest != len(tokens):
+        raise ParseError(f"trailing input at token {rest}: {tokens[rest]!r}")
+    return _build(tree)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    current: List[str] = []
+    for ch in text:
+        if ch in "()":
+            if current:
+                tokens.append("".join(current))
+                current = []
+            tokens.append(ch)
+        elif ch.isspace():
+            if current:
+                tokens.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+    if current:
+        tokens.append("".join(current))
+    if not tokens:
+        raise ParseError("empty input")
+    return tokens
+
+
+def _read(tokens: List[_Token], pos: int) -> Tuple[_SExpr, int]:
+    """Read one S-expression starting at ``pos`` (iterative)."""
+    stack: List[List[_SExpr]] = []
+    while pos < len(tokens):
+        token = tokens[pos]
+        pos += 1
+        if token == "(":
+            stack.append([])
+            continue
+        if token == ")":
+            if not stack:
+                raise ParseError("unbalanced ')'")
+            finished = stack.pop()
+            if not stack:
+                return finished, pos
+            stack[-1].append(finished)
+            continue
+        if not stack:
+            return token, pos
+        stack[-1].append(token)
+    raise ParseError("unbalanced '(' — input ended inside a list")
+
+
+def _build(tree: _SExpr) -> Expr:
+    """Convert a parsed S-expression tree into an interned expression.
+
+    Iterative post-order over the tree (children built before parents).
+    """
+    if isinstance(tree, str):
+        return _build_atom(tree)
+
+    # Each stack frame: (subtree, child_results or None).
+    done: dict = {}
+    stack: List[Tuple[int, _SExpr, bool]] = [(0, tree, False)]
+    results: dict = {}
+    counter = 0
+    # Assign ids to list nodes by identity to memoize within this parse.
+    while stack:
+        key, node, expanded = stack.pop()
+        if isinstance(node, str):
+            results[key] = _build_atom(node)
+            continue
+        if expanded:
+            children = [results[(key, i)] for i in range(len(node) - 1)]
+            results[key] = _build_app(node[0], children)
+            continue
+        if not node:
+            raise ParseError("empty list")
+        if not isinstance(node[0], str):
+            raise ParseError("list head must be a symbol")
+        stack.append((key, node, True))
+        for i, child in enumerate(node[1:]):
+            stack.append(((key, i), child, False))
+    return results[0]
+
+
+def _build_atom(token: str) -> Expr:
+    if token == "true":
+        return TRUE
+    if token == "false":
+        return FALSE
+    if token.startswith("$"):
+        name = token[1:]
+        if not name:
+            raise ParseError("'$' must be followed by a name")
+        return builder.bvar(name)
+    return builder.tvar(token)
+
+
+def _build_app(head: str, children: List[Expr]) -> Expr:
+    try:
+        return _build_app_unchecked(head, children)
+    except TypeError as exc:
+        raise ParseError(str(exc)) from exc
+
+
+def _build_app_unchecked(head: str, children: List[Expr]) -> Expr:
+    if head == "ite":
+        _expect_arity(head, children, 3)
+        cond, then, els = children
+        if not isinstance(cond, Formula):
+            raise ParseError("ite condition must be a formula")
+        if isinstance(then, Term) and isinstance(els, Term):
+            return builder.ite_term(cond, then, els)
+        if isinstance(then, Formula) and isinstance(els, Formula):
+            return builder.ite_formula(cond, then, els)
+        raise ParseError("ite branches must have the same sort")
+    if head == "read":
+        _expect_arity(head, children, 2)
+        return builder.read(children[0], children[1])
+    if head == "write":
+        _expect_arity(head, children, 3)
+        return builder.write(children[0], children[1], children[2])
+    if head == "=":
+        _expect_arity(head, children, 2)
+        return builder.eq(children[0], children[1])
+    if head == "not":
+        _expect_arity(head, children, 1)
+        return builder.not_(children[0])
+    if head == "and":
+        _expect_formulas(head, children)
+        return builder.and_(*children)
+    if head == "or":
+        _expect_formulas(head, children)
+        return builder.or_(*children)
+    if head.startswith("$"):
+        name = head[1:]
+        if not name:
+            raise ParseError("'$' must be followed by a predicate name")
+        return builder.up(name, children)
+    return builder.uf(head, children)
+
+
+def _expect_arity(head: str, children: List[Expr], arity: int) -> None:
+    if len(children) != arity:
+        raise ParseError(f"{head!r} expects {arity} operands, got {len(children)}")
+
+
+def _expect_formulas(head: str, children: List[Expr]) -> None:
+    for child in children:
+        if not isinstance(child, Formula):
+            raise ParseError(f"operand of {head!r} must be a formula")

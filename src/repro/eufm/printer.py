@@ -1,0 +1,97 @@
+"""S-expression serialization of EUFM expressions.
+
+The format round-trips through :mod:`repro.eufm.parser`:
+
+* term variable                  ``x``
+* Boolean variable               ``$b``
+* UF / UP application            ``(f arg1 arg2)`` / ``($p arg1)``
+* term / formula ITE             ``(ite cond then else)``
+* memory operations              ``(read m a)`` / ``(write m a d)``
+* equation                       ``(= t1 t2)``
+* connectives                    ``(not f)`` / ``(and ...)`` / ``(or ...)``
+* constants                      ``true`` / ``false``
+
+Boolean-sorted names carry a ``$`` sigil so the parser can reconstruct the
+sort without a symbol table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .ast import Expr, FALSE, TRUE
+from .traversal import iter_dag
+
+__all__ = ["to_sexpr", "pretty"]
+
+
+def to_sexpr(root: Expr) -> str:
+    """Serialize ``root`` as a single-line S-expression."""
+    text: Dict[Expr, str] = {}
+    for node in iter_dag(root):
+        text[node] = _render(node, text)
+    return text[root]
+
+
+def _render(node: Expr, text: Dict[Expr, str]) -> str:
+    kind = node.kind
+    if kind == "const":
+        return "true" if node.value else "false"
+    if kind == "tvar":
+        return node.name
+    if kind == "bvar":
+        return "$" + node.name
+    if kind == "uf":
+        if not node.args:
+            return f"({node.symbol})"
+        return "(" + " ".join([node.symbol] + [text[a] for a in node.args]) + ")"
+    if kind == "up":
+        head = "$" + node.symbol
+        if not node.args:
+            return f"({head})"
+        return "(" + " ".join([head] + [text[a] for a in node.args]) + ")"
+    if kind in ("tite", "fite"):
+        return f"(ite {text[node.cond]} {text[node.then]} {text[node.els]})"
+    if kind == "read":
+        return f"(read {text[node.mem]} {text[node.addr]})"
+    if kind == "write":
+        return f"(write {text[node.mem]} {text[node.addr]} {text[node.data]})"
+    if kind == "eq":
+        return f"(= {text[node.lhs]} {text[node.rhs]})"
+    if kind == "not":
+        return f"(not {text[node.arg]})"
+    if kind == "and":
+        return "(" + " ".join(["and"] + [text[a] for a in node.args]) + ")"
+    if kind == "or":
+        return "(" + " ".join(["or"] + [text[a] for a in node.args]) + ")"
+    raise TypeError(f"unknown node kind {kind!r}")
+
+
+def pretty(root: Expr, max_width: int = 100) -> str:
+    """Multi-line rendering with indentation for human inspection."""
+    return _pretty(root, indent=0, max_width=max_width)
+
+
+def _pretty(node: Expr, indent: int, max_width: int) -> str:
+    flat = to_sexpr(node)
+    if len(flat) + indent <= max_width or not node.children:
+        return flat
+    pad = " " * (indent + 2)
+    head = _head_token(node)
+    parts: List[str] = []
+    for child in node.children:
+        parts.append(pad + _pretty(child, indent + 2, max_width))
+    return f"({head}\n" + "\n".join(parts) + ")"
+
+
+def _head_token(node: Expr) -> str:
+    kind = node.kind
+    if kind == "uf":
+        return node.symbol
+    if kind == "up":
+        return "$" + node.symbol
+    if kind in ("tite", "fite"):
+        return "ite"
+    if kind == "eq":
+        return "="
+    return kind

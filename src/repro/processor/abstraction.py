@@ -1,0 +1,52 @@
+"""The abstraction function: flushing by completion functions.
+
+Applying the abstraction function sets ``flush`` to true and activates the
+computation slices one at a time in program order (paper Sect. 4).  An
+activated slice whose ``ValidResult`` bit is true writes its ``Result`` to
+the destination register; otherwise the result is computed instantaneously
+by the ALU from operands read from the current Register File.  Writes
+happen only for valid instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..eufm.ast import FALSE, TRUE, Term
+from ..tlsim import Simulator
+from .ooo import OooProcessor
+
+__all__ = ["apply_abstraction", "flush_range"]
+
+
+def flush_range(
+    sim: Simulator, proc: OooProcessor, first_slot: int, last_slot: int
+) -> None:
+    """Activate slices ``first_slot..last_slot`` (1-based, inclusive)."""
+    if not (1 <= first_slot <= last_slot <= proc.total_slots):
+        raise ValueError(
+            f"slot range {first_slot}..{last_slot} outside "
+            f"1..{proc.total_slots}"
+        )
+    sim.set_input(proc.flush, TRUE)
+    previous = None
+    for slot in range(first_slot, last_slot + 1):
+        if previous is not None:
+            sim.set_input(proc.activate[previous - 1], FALSE)
+        sim.set_input(proc.activate[slot - 1], TRUE)
+        sim.step()
+        previous = slot
+    if previous is not None:
+        sim.set_input(proc.activate[previous - 1], FALSE)
+    sim.set_input(proc.flush, FALSE)
+
+
+def apply_abstraction(sim: Simulator, proc: OooProcessor) -> Term:
+    """Flush every slice in program order; return the final Register File.
+
+    Callers that need the intermediate state between the initial entries
+    and the fetch slots (the rewriting engine does) drive
+    :func:`flush_range` twice and peek the Register File in between.
+    """
+    flush_range(sim, proc, 1, proc.total_slots)
+    return sim.peek(proc.rf)

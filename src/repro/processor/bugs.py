@@ -1,0 +1,83 @@
+"""Injectable design defects for the buggy-processor experiments.
+
+The paper's experiment (Sect. 7.2) plants a bug "in the forwarding logic
+for one of the data operands of the 72nd instruction in the ROB" of a
+128-entry design and shows the rewriting rules flag the offending
+computation slice in seconds, while the Positive-Equality-only flow runs
+out of memory.  This module defines that bug plus a family of related
+control defects, all of which must be caught by verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Bug", "BugKind", "forwarding_bug"]
+
+
+class BugKind:
+    """Enumeration of supported defect classes."""
+
+    #: the forwarding comparator of one operand of one entry matches the
+    #: wrong source field (the paper's experiment).
+    FORWARD_WRONG_SOURCE = "forward-wrong-source"
+    #: forwarding of one operand of one entry takes the Result of the
+    #: *previous* matching entry instead of the latest one.
+    FORWARD_STALE_RESULT = "forward-stale-result"
+    #: an entry may execute even when an operand is not yet available,
+    #: reading a stale value from the Register File.
+    EXECUTE_IGNORES_HAZARD = "execute-ignores-hazard"
+    #: the retirement condition omits the ValidResult check, retiring (and
+    #: writing back) an uncomputed result.
+    RETIRE_WITHOUT_RESULT = "retire-without-result"
+    #: retirement is not in program order: the chain condition on earlier
+    #: retirements is dropped for one entry.
+    RETIRE_OUT_OF_ORDER = "retire-out-of-order"
+    #: the Register-File write at retirement ignores the Valid bit.
+    RETIRE_IGNORES_VALID = "retire-ignores-valid"
+    #: the PC is incremented once regardless of how many instructions were
+    #: fetched.
+    PC_SINGLE_INCREMENT = "pc-single-increment"
+
+    ALL = (
+        FORWARD_WRONG_SOURCE,
+        FORWARD_STALE_RESULT,
+        EXECUTE_IGNORES_HAZARD,
+        RETIRE_WITHOUT_RESULT,
+        RETIRE_OUT_OF_ORDER,
+        RETIRE_IGNORES_VALID,
+        PC_SINGLE_INCREMENT,
+    )
+
+
+@dataclass(frozen=True)
+class Bug:
+    """A planted defect.
+
+    Attributes:
+        kind: one of :class:`BugKind`.
+        entry: 1-based ROB entry the defect applies to (where relevant).
+        operand: 1 or 2, the data operand affected (forwarding defects).
+    """
+
+    kind: str
+    entry: int = 1
+    operand: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in BugKind.ALL:
+            raise ValueError(f"unknown bug kind {self.kind!r}")
+        if self.entry < 1:
+            raise ValueError("bug entry is 1-based")
+        if self.operand not in (1, 2):
+            raise ValueError("operand must be 1 or 2")
+
+    def describe(self) -> str:
+        return f"{self.kind} at ROB entry {self.entry}, operand {self.operand}"
+
+
+def forwarding_bug(entry: int, operand: int = 1) -> Bug:
+    """The paper's experiment: broken forwarding for one operand of one
+    entry (entry 72 of a 128-entry ROB in the paper)."""
+    return Bug(BugKind.FORWARD_WRONG_SOURCE, entry=entry, operand=operand)

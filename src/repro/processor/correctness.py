@@ -1,0 +1,129 @@
+"""The Burch–Dill commutative diagram and the EUFM correctness formula.
+
+Implementation side: one step of regular operation of the implementation,
+followed by the abstraction function (flushing by completion functions).
+Specification side: the abstraction function applied to the *initial*
+implementation state, followed by 0..k steps of the specification.
+
+The correctness criterion (paper Sect. 5) states that the user-visible
+state — PC and Register File — is updated in sync by 0, 1, ... or k
+instructions:
+
+    OR_{m=0..k}  equal_PC,m  AND  equal_RegFile,m
+
+A stronger fetch-count case-split criterion is available as
+``criterion="case_split"``: for each m, *if* exactly m instructions were
+fetched *then* the m-instruction equalities must hold.  Both criteria are
+valid for correct designs; the paper uses the disjunction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..eufm import builder
+from ..eufm.ast import FALSE, TRUE, Formula, Term
+from ..tlsim import Simulator
+from .abstraction import flush_range
+from .bugs import Bug
+from .isa import SpecState, spec_trajectory
+from .ooo import OooProcessor, build_ooo_processor, make_simulator
+from .params import ProcessorConfig
+
+__all__ = ["DiagramArtifacts", "build_correctness_formula", "run_diagram"]
+
+CRITERIA = ("disjunction", "case_split")
+
+
+@dataclass
+class DiagramArtifacts:
+    """Everything produced by symbolically simulating the diagram."""
+
+    config: ProcessorConfig
+    proc: OooProcessor
+    #: implementation side: PC and Register File after one step of regular
+    #: operation followed by the abstraction function.
+    pc_impl: Term = None
+    rf_impl: Term = None
+    #: implementation-side Register File after the initial entries (slots
+    #: 1..N) completed but before the fetch slots completed — the seam the
+    #: rewriting engine replaces with a fresh variable.
+    rf_impl_mid: Term = None
+    #: specification side: states after the abstraction function and after
+    #: each of 0..k specification steps.
+    spec_states: List[SpecState] = field(default_factory=list)
+    #: monotone fetch signals fetch_1 .. fetch_k as formulas.
+    fetch_conditions: List[Formula] = field(default_factory=list)
+    #: wall-clock seconds spent in symbolic simulation.
+    simulate_seconds: float = 0.0
+
+    @property
+    def initial_pc(self) -> Term:
+        return self.proc.initial_state[self.proc.pc]
+
+    @property
+    def initial_rf(self) -> Term:
+        return self.proc.initial_state[self.proc.rf]
+
+
+def run_diagram(
+    config: ProcessorConfig, bug: Optional[Bug] = None
+) -> DiagramArtifacts:
+    """Symbolically simulate both sides of the commutative diagram."""
+    start = time.perf_counter()
+    proc = build_ooo_processor(config, bug=bug)
+    artifacts = DiagramArtifacts(config=config, proc=proc)
+
+    n = config.n_rob
+    k = config.issue_width
+
+    # Implementation side: one regular step, then flush in program order.
+    impl_sim = make_simulator(proc)
+    impl_sim.step()
+    artifacts.pc_impl = impl_sim.peek(proc.pc)
+    flush_range(impl_sim, proc, 1, n)
+    artifacts.rf_impl_mid = impl_sim.peek(proc.rf)
+    flush_range(impl_sim, proc, n + 1, n + k)
+    artifacts.rf_impl = impl_sim.peek(proc.rf)
+
+    # Specification side: flush the initial state, then run the ISA.
+    spec_sim = make_simulator(proc)
+    flush_range(spec_sim, proc, 1, n + k)
+    spec0 = SpecState(pc=artifacts.initial_pc, reg_file=spec_sim.peek(proc.rf))
+    artifacts.spec_states = spec_trajectory(spec0, k)
+
+    nd_fetch = [builder.bvar(f"NDFetch{j + 1}") for j in range(k)]
+    artifacts.fetch_conditions = [
+        builder.and_(*nd_fetch[: j + 1]) for j in range(k)
+    ]
+
+    artifacts.simulate_seconds = time.perf_counter() - start
+    return artifacts
+
+
+def build_correctness_formula(
+    artifacts: DiagramArtifacts, criterion: str = "disjunction"
+) -> Formula:
+    """The EUFM correctness formula for the simulated diagram."""
+    if criterion not in CRITERIA:
+        raise ValueError(f"unknown criterion {criterion!r}; use one of {CRITERIA}")
+    k = artifacts.config.issue_width
+    conjuncts = []
+    for m, spec_state in enumerate(artifacts.spec_states):
+        equal_pc = builder.eq(artifacts.pc_impl, spec_state.pc)
+        equal_rf = builder.eq(artifacts.rf_impl, spec_state.reg_file)
+        conjuncts.append(builder.and_(equal_pc, equal_rf))
+
+    if criterion == "disjunction":
+        return builder.or_(*conjuncts)
+
+    fetch = artifacts.fetch_conditions
+    cases = []
+    for m in range(k + 1):
+        fetched_at_least_m = TRUE if m == 0 else fetch[m - 1]
+        fetched_more = fetch[m] if m < k else FALSE
+        exactly_m = builder.and_(fetched_at_least_m, builder.not_(fetched_more))
+        cases.append(builder.implies(exactly_m, conjuncts[m]))
+    return builder.and_(*cases)

@@ -1,0 +1,85 @@
+"""The non-pipelined specification processor (the ISA).
+
+User-visible state: the PC and the Register File.  One step fetches the
+instruction addressed by the PC from the read-only Instruction Memory,
+increments the PC through the ``NextPC`` uninterpreted function, computes
+the ALU result of the two source operands, and writes it to the
+destination register when the instruction's Valid bit is true
+(paper, end of Sect. 3).
+
+The Instruction Memory is read-only and shared with the implementation, so
+its fields are modeled as uninterpreted functions of the PC:
+``InstrOp``, ``InstrDest``, ``InstrSrc1``, ``InstrSrc2`` and the
+uninterpreted predicate ``InstrValid``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..eufm import builder
+from ..eufm.ast import Formula, Term
+
+__all__ = [
+    "ALU",
+    "NEXT_PC",
+    "INSTR_OP",
+    "INSTR_DEST",
+    "INSTR_SRC1",
+    "INSTR_SRC2",
+    "INSTR_VALID",
+    "SpecState",
+    "spec_step",
+    "spec_trajectory",
+    "fetch_fields",
+]
+
+#: uninterpreted symbols shared by the specification and implementation.
+ALU = "ALU"
+NEXT_PC = "NextPC"
+INSTR_OP = "InstrOp"
+INSTR_DEST = "InstrDest"
+INSTR_SRC1 = "InstrSrc1"
+INSTR_SRC2 = "InstrSrc2"
+INSTR_VALID = "InstrValid"
+
+
+@dataclass(frozen=True)
+class SpecState:
+    """The user-visible architectural state."""
+
+    pc: Term
+    reg_file: Term
+
+
+def fetch_fields(pc: Term) -> Tuple[Formula, Term, Term, Term, Term]:
+    """Decode the instruction at ``pc``: (valid, op, dest, src1, src2)."""
+    return (
+        builder.up(INSTR_VALID, [pc]),
+        builder.uf(INSTR_OP, [pc]),
+        builder.uf(INSTR_DEST, [pc]),
+        builder.uf(INSTR_SRC1, [pc]),
+        builder.uf(INSTR_SRC2, [pc]),
+    )
+
+
+def spec_step(state: SpecState) -> SpecState:
+    """Execute one architectural instruction symbolically."""
+    valid, op, dest, src1, src2 = fetch_fields(state.pc)
+    operand1 = builder.read(state.reg_file, src1)
+    operand2 = builder.read(state.reg_file, src2)
+    result = builder.uf(ALU, [op, operand1, operand2])
+    next_rf = builder.ite_term(
+        valid, builder.write(state.reg_file, dest, result), state.reg_file
+    )
+    next_pc = builder.uf(NEXT_PC, [state.pc])
+    return SpecState(pc=next_pc, reg_file=next_rf)
+
+
+def spec_trajectory(initial: SpecState, steps: int) -> List[SpecState]:
+    """States after 0, 1, .., ``steps`` architectural instructions."""
+    states = [initial]
+    for _ in range(steps):
+        states.append(spec_step(states[-1]))
+    return states

@@ -1,0 +1,511 @@
+"""The abstract out-of-order implementation processor (paper Sect. 3–4).
+
+The design of Fig. 1, abstracted exactly the way the paper describes:
+
+* The reorder buffer is ``N + k`` latched entries: the first ``N`` hold the
+  instructions initially in the ROB (fields ``Valid``, ``ValidResult``,
+  ``Opcode``, ``Dest``, ``Src1``, ``Src2``, ``Result`` — all symbolic
+  initial state), and the last ``k`` accept the newly fetched instructions.
+* Scheduling is nondeterministic: fresh Boolean variables ``NDFetch_j``
+  form the monotone fetch signals ``fetch_j = NDFetch_1 & .. & NDFetch_j``,
+  and ``NDExecute_i`` abstracts the `execute_i` control of each slice.
+* The hazard-resolution (stall/forwarding) logic is fully instantiated:
+  an instruction is ready when each operand can be read from the Register
+  File or forwarded from the ``Result`` field of the *latest* preceding
+  valid producer, which must already have its result.
+* Retirement is in program order, up to ``l`` per cycle, per formula (1).
+* Flushing (``flush`` input true) activates one computation slice per step
+  (``activate_i`` inputs, driven by the abstraction-function harness) and
+  applies the slice's completion function.
+
+The builder plays the role of the paper's "C program, taking as parameters
+the size of the ROB and the issue width"; ``bug`` plants the defects of
+:mod:`repro.processor.bugs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..eufm import builder
+from ..eufm.ast import FALSE, TRUE, Expr, Formula, Term
+from ..tlsim import Circuit, Fn, Latch, Mux, Signal, Simulator
+from ..tlsim.signals import FORMULA, MEMORY, TERM
+from .bugs import Bug, BugKind
+from .isa import ALU, INSTR_DEST, INSTR_OP, INSTR_SRC1, INSTR_SRC2, INSTR_VALID, NEXT_PC
+from .params import ProcessorConfig
+
+__all__ = ["OooProcessor", "build_ooo_processor", "make_simulator"]
+
+
+@dataclass
+class OooProcessor:
+    """A built implementation circuit plus its symbolic initial state."""
+
+    config: ProcessorConfig
+    bug: Optional[Bug]
+    circuit: Circuit
+    # Control inputs.
+    flush: Signal
+    activate: List[Signal]
+    nd_execute: List[Signal]
+    nd_fetch: List[Signal]
+    # Architectural and ROB state signals (latch outputs).
+    pc: Signal
+    rf: Signal
+    rf_hold: Signal
+    valid: List[Signal]
+    vres: List[Signal]
+    op: List[Signal]
+    dest: List[Signal]
+    src1: List[Signal]
+    src2: List[Signal]
+    result: List[Signal]
+    #: symbolic initial values for every latch output.
+    initial_state: Dict[Signal, Expr] = field(default_factory=dict)
+    #: the symbolic variables of the initial state, by conventional name.
+    vars: Dict[str, Expr] = field(default_factory=dict)
+
+    @property
+    def total_slots(self) -> int:
+        return self.config.total_slots
+
+
+def build_ooo_processor(
+    config: ProcessorConfig, bug: Optional[Bug] = None
+) -> OooProcessor:
+    """Generate the abstract OOO implementation for ``config``."""
+    n = config.n_rob
+    k = config.issue_width
+    l = config.retire_width
+    slots = config.total_slots
+    circuit = Circuit(f"ooo_N{n}_k{k}")
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    flush = Signal("flush", FORMULA)
+    activate = [Signal(f"activate{i}", FORMULA) for i in range(1, slots + 1)]
+    nd_execute = [Signal(f"nd_execute{i}", FORMULA) for i in range(1, n + 1)]
+    nd_fetch = [Signal(f"nd_fetch{j}", FORMULA) for j in range(1, k + 1)]
+
+    pc = Signal("pc", TERM)
+    rf = Signal("rf", MEMORY)
+    rf_hold = Signal("rf_hold", MEMORY)
+    valid = [Signal(f"valid{i}", FORMULA) for i in range(1, slots + 1)]
+    vres = [Signal(f"vres{i}", FORMULA) for i in range(1, slots + 1)]
+    op = [Signal(f"op{i}", TERM) for i in range(1, slots + 1)]
+    dest = [Signal(f"dest{i}", TERM) for i in range(1, slots + 1)]
+    src1 = [Signal(f"src1_{i}", TERM) for i in range(1, slots + 1)]
+    src2 = [Signal(f"src2_{i}", TERM) for i in range(1, slots + 1)]
+    result = [Signal(f"result{i}", TERM) for i in range(1, slots + 1)]
+
+    proc = OooProcessor(
+        config=config,
+        bug=bug,
+        circuit=circuit,
+        flush=flush,
+        activate=activate,
+        nd_execute=nd_execute,
+        nd_fetch=nd_fetch,
+        pc=pc,
+        rf=rf,
+        rf_hold=rf_hold,
+        valid=valid,
+        vres=vres,
+        op=op,
+        dest=dest,
+        src1=src1,
+        src2=src2,
+        result=result,
+    )
+
+    # ------------------------------------------------------------------
+    # Retirement (program order, formula (1))
+    # ------------------------------------------------------------------
+    retire = [Signal(f"retire{i}", FORMULA) for i in range(1, l + 1)]
+    for i in range(l):
+
+        def retire_fn(valid_i, vres_i, *prev, index=i):
+            own = builder.or_(builder.not_(valid_i), vres_i)
+            if bug is not None and bug.entry == index + 1:
+                if bug.kind == BugKind.RETIRE_WITHOUT_RESULT:
+                    own = TRUE
+                elif bug.kind == BugKind.RETIRE_OUT_OF_ORDER:
+                    return own
+            if prev:
+                return builder.and_(own, prev[0])
+            return own
+
+        inputs = [valid[i], vres[i]] + ([retire[i - 1]] if i > 0 else [])
+        circuit.add(Fn(f"retire_logic{i + 1}", inputs, [retire[i]], retire_fn))
+
+    # Register-File chain for in-order retirement writes.
+    rf_after_retire = rf
+    for i in range(l):
+        stage_out = Signal(f"rf_retire{i + 1}", MEMORY)
+
+        def retire_write_fn(prev, retire_i, valid_i, dest_i, result_i, index=i):
+            context = builder.and_(valid_i, retire_i)
+            if (
+                bug is not None
+                and bug.kind == BugKind.RETIRE_IGNORES_VALID
+                and bug.entry == index + 1
+            ):
+                context = retire_i
+            return builder.ite_term(
+                context, builder.write(prev, dest_i, result_i), prev
+            )
+
+        circuit.add(
+            Fn(
+                f"retire_write{i + 1}",
+                [rf_after_retire, retire[i], valid[i], dest[i], result[i]],
+                [stage_out],
+                retire_write_fn,
+            )
+        )
+        rf_after_retire = stage_out
+
+    # ------------------------------------------------------------------
+    # Out-of-order execution slices (regular operation)
+    # ------------------------------------------------------------------
+    exec_result = [Signal(f"exec_result{i}", TERM) for i in range(1, n + 1)]
+    exec_vres = [Signal(f"exec_vres{i}", FORMULA) for i in range(1, n + 1)]
+    for i in range(n):
+        # Preceding-entry signals feed the forwarding chain of slice i+1.
+        preceding = []
+        for j in range(i):
+            preceding.extend([valid[j], vres[j], dest[j], result[j]])
+        inputs = [
+            flush,
+            nd_execute[i],
+            rf_hold,
+            op[i],
+            src1[i],
+            src2[i],
+            valid[i],
+            vres[i],
+            result[i],
+        ] + preceding
+        circuit.add(
+            Fn(
+                f"exec_slice{i + 1}",
+                inputs,
+                [exec_result[i], exec_vres[i]],
+                _make_exec_fn(i + 1, bug),
+            )
+        )
+        circuit.add(Latch(f"result_latch{i + 1}", exec_result[i], result[i]))
+        circuit.add(Latch(f"vres_latch{i + 1}", exec_vres[i], vres[i]))
+
+    # ------------------------------------------------------------------
+    # Fetch engine
+    # ------------------------------------------------------------------
+    fetch = [Signal(f"fetch{j}", FORMULA) for j in range(1, k + 1)]
+    for j in range(k):
+
+        def fetch_fn(*nd):
+            return builder.and_(*nd)
+
+        circuit.add(Fn(f"fetch_logic{j + 1}", nd_fetch[: j + 1], [fetch[j]], fetch_fn))
+
+    pc_next = Signal("pc_next", TERM)
+
+    def pc_fn(flush_expr, pc_expr, *fetch_exprs):
+        if flush_expr is TRUE:
+            return pc_expr
+        new_pc = pc_expr
+        stepped = pc_expr
+        for j, fetch_j in enumerate(fetch_exprs):
+            stepped = builder.uf(NEXT_PC, [stepped])
+            if (
+                bug is not None
+                and bug.kind == BugKind.PC_SINGLE_INCREMENT
+                and j > 0
+            ):
+                stepped = builder.uf(NEXT_PC, [pc_expr])
+            new_pc = builder.ite_term(fetch_j, stepped, new_pc)
+        return builder.ite_term(flush_expr, pc_expr, new_pc)
+
+    circuit.add(Fn("pc_logic", [flush, pc] + fetch, [pc_next], pc_fn))
+    circuit.add(Latch("pc_latch", pc_next, pc))
+
+    # New-instruction slots: fetched fields enter the last k entries.
+    for j in range(k):
+        slot = n + j
+
+        def new_fields_fn(flush_expr, pc_expr, fetch_j, valid_cur, vres_cur,
+                          op_cur, dest_cur, src1_cur, src2_cur, offset=j):
+            if flush_expr is TRUE:
+                return (valid_cur, vres_cur, op_cur, dest_cur, src1_cur, src2_cur)
+            slot_pc = pc_expr
+            for _ in range(offset):
+                slot_pc = builder.uf(NEXT_PC, [slot_pc])
+            new_valid = builder.and_(fetch_j, builder.up(INSTR_VALID, [slot_pc]))
+            fields = (
+                builder.ite_formula(flush_expr, valid_cur, new_valid),
+                builder.ite_formula(flush_expr, vres_cur, FALSE),
+                builder.ite_term(flush_expr, op_cur, builder.uf(INSTR_OP, [slot_pc])),
+                builder.ite_term(
+                    flush_expr, dest_cur, builder.uf(INSTR_DEST, [slot_pc])
+                ),
+                builder.ite_term(
+                    flush_expr, src1_cur, builder.uf(INSTR_SRC1, [slot_pc])
+                ),
+                builder.ite_term(
+                    flush_expr, src2_cur, builder.uf(INSTR_SRC2, [slot_pc])
+                ),
+            )
+            return fields
+
+        next_signals = [
+            Signal(f"new_valid{slot + 1}", FORMULA),
+            Signal(f"new_vres{slot + 1}", FORMULA),
+            Signal(f"new_op{slot + 1}", TERM),
+            Signal(f"new_dest{slot + 1}", TERM),
+            Signal(f"new_src1_{slot + 1}", TERM),
+            Signal(f"new_src2_{slot + 1}", TERM),
+        ]
+        circuit.add(
+            Fn(
+                f"fetch_slot{slot + 1}",
+                [flush, pc, fetch[j], valid[slot], vres[slot], op[slot],
+                 dest[slot], src1[slot], src2[slot]],
+                next_signals,
+                new_fields_fn,
+            )
+        )
+        circuit.add(Latch(f"valid_latch{slot + 1}", next_signals[0], valid[slot]))
+        circuit.add(Latch(f"vres_latch{slot + 1}", next_signals[1], vres[slot]))
+        circuit.add(Latch(f"op_latch{slot + 1}", next_signals[2], op[slot]))
+        circuit.add(Latch(f"dest_latch{slot + 1}", next_signals[3], dest[slot]))
+        circuit.add(Latch(f"src1_latch{slot + 1}", next_signals[4], src1[slot]))
+        circuit.add(Latch(f"src2_latch{slot + 1}", next_signals[5], src2[slot]))
+        # Result of a fetch slot only materializes during flush completion.
+        circuit.add(Latch(f"result_latch{slot + 1}", result[slot], result[slot]))
+
+    # Valid-bit updates for the initial entries.
+    for i in range(n):
+        if i < l:
+            valid_next = Signal(f"valid_next{i + 1}", FORMULA)
+
+            def valid_fn(flush_expr, valid_i, retire_i):
+                if flush_expr is TRUE:
+                    return valid_i
+                return builder.ite_formula(
+                    flush_expr,
+                    valid_i,
+                    builder.and_(valid_i, builder.not_(retire_i)),
+                )
+
+            circuit.add(
+                Fn(
+                    f"valid_logic{i + 1}",
+                    [flush, valid[i], retire[i]],
+                    [valid_next],
+                    valid_fn,
+                )
+            )
+            circuit.add(Latch(f"valid_latch{i + 1}", valid_next, valid[i]))
+        else:
+            circuit.add(Latch(f"valid_latch{i + 1}", valid[i], valid[i]))
+        # Instruction fields are read-only once in the ROB.
+        circuit.add(Latch(f"op_latch{i + 1}", op[i], op[i]))
+        circuit.add(Latch(f"dest_latch{i + 1}", dest[i], dest[i]))
+        circuit.add(Latch(f"src1_latch{i + 1}", src1[i], src1[i]))
+        circuit.add(Latch(f"src2_latch{i + 1}", src2[i], src2[i]))
+
+    # ------------------------------------------------------------------
+    # Flush completion chain (the abstraction function's slices)
+    # ------------------------------------------------------------------
+    rf_after_flush = rf
+    for i in range(slots):
+        stage_out = Signal(f"rf_flush{i + 1}", MEMORY)
+
+        def flush_fn(prev, activate_i, valid_i, vres_i, op_i, dest_i,
+                     src1_i, src2_i, result_i):
+            if activate_i is FALSE:
+                return prev
+            if valid_i is FALSE:
+                return prev
+            data = builder.ite_term(
+                vres_i,
+                result_i,
+                builder.uf(
+                    ALU,
+                    [op_i, builder.read(prev, src1_i), builder.read(prev, src2_i)],
+                ),
+            )
+            context = builder.and_(activate_i, valid_i)
+            return builder.ite_term(
+                context, builder.write(prev, dest_i, data), prev
+            )
+
+        circuit.add(
+            Fn(
+                f"flush_slice{i + 1}",
+                [rf_after_flush, activate[i], valid[i], vres[i], op[i],
+                 dest[i], src1[i], src2[i], result[i]],
+                [stage_out],
+                flush_fn,
+            )
+        )
+        rf_after_flush = stage_out
+
+    # Register-File next state and the held copy for the exec slices.
+    rf_next = Signal("rf_next", MEMORY)
+    circuit.add(Mux("rf_select", flush, rf_after_flush, rf_after_retire, rf_next))
+    circuit.add(Latch("rf_latch", rf_next, rf))
+    rf_hold_next = Signal("rf_hold_next", MEMORY)
+    circuit.add(Mux("rf_hold_select", flush, rf_hold, rf, rf_hold_next))
+    circuit.add(Latch("rf_hold_latch", rf_hold_next, rf_hold))
+
+    # ------------------------------------------------------------------
+    # Symbolic initial state
+    # ------------------------------------------------------------------
+    initial: Dict[Signal, Expr] = {}
+    vars_by_name: Dict[str, Expr] = {}
+
+    def init_var(signal: Signal, expr: Expr, record: bool = True) -> None:
+        initial[signal] = expr
+        if record:
+            name = getattr(expr, "name", None)
+            if name is not None:
+                vars_by_name[name] = expr
+
+    init_var(pc, builder.tvar("PC"))
+    init_var(rf, builder.tvar("RegFile"))
+    init_var(rf_hold, builder.tvar("RegFile"), record=False)
+    for i in range(n):
+        init_var(valid[i], builder.bvar(f"Valid{i + 1}"))
+        init_var(vres[i], builder.bvar(f"ValidResult{i + 1}"))
+        init_var(op[i], builder.tvar(f"Op{i + 1}"))
+        init_var(dest[i], builder.tvar(f"Dest{i + 1}"))
+        init_var(src1[i], builder.tvar(f"Src1_{i + 1}"))
+        init_var(src2[i], builder.tvar(f"Src2_{i + 1}"))
+        init_var(result[i], builder.tvar(f"Result{i + 1}"))
+    for j in range(k):
+        slot = n + j
+        init_var(valid[slot], FALSE, record=False)
+        init_var(vres[slot], FALSE, record=False)
+        init_var(op[slot], builder.tvar(f"FreeOp{j + 1}"), record=False)
+        init_var(dest[slot], builder.tvar(f"FreeDest{j + 1}"), record=False)
+        init_var(src1[slot], builder.tvar(f"FreeSrc1_{j + 1}"), record=False)
+        init_var(src2[slot], builder.tvar(f"FreeSrc2_{j + 1}"), record=False)
+        init_var(result[slot], builder.tvar(f"FreeResult{j + 1}"), record=False)
+
+    proc.initial_state = initial
+    proc.vars = vars_by_name
+    circuit.freeze()
+    return proc
+
+
+def _make_exec_fn(slice_index: int, bug: Optional[Bug]) -> Callable:
+    """Build the combinational function of one execution slice.
+
+    Inputs (in order): flush, nd_execute, rf, op, src1, src2, valid, vres,
+    result, then (valid_j, vres_j, dest_j, result_j) for each preceding
+    entry j = 1 .. slice_index-1.  Outputs: (next_result, next_vres).
+    """
+
+    def exec_fn(flush_expr, nd_expr, rf_expr, op_expr, src1_expr, src2_expr,
+                valid_expr, vres_expr, result_expr, *preceding):
+        if flush_expr is TRUE:
+            return (result_expr, vres_expr)
+        entries = [
+            tuple(preceding[4 * j : 4 * j + 4]) for j in range(len(preceding) // 4)
+        ]
+        value1, avail1 = _forward_operand(
+            rf_expr, src1_expr, entries, slice_index, 1, bug
+        )
+        value2, avail2 = _forward_operand(
+            rf_expr, src2_expr, entries, slice_index, 2, bug
+        )
+        ready = builder.and_(
+            valid_expr, builder.not_(vres_expr), avail1, avail2
+        )
+        executed = builder.and_(nd_expr, ready)
+        alu_out = builder.uf(ALU, [op_expr, value1, value2])
+        next_result = builder.ite_term(executed, alu_out, result_expr)
+        next_vres = builder.or_(vres_expr, executed)
+        result_regular = (next_result, next_vres)
+        return (
+            builder.ite_term(flush_expr, result_expr, result_regular[0]),
+            builder.ite_formula(flush_expr, vres_expr, result_regular[1]),
+        )
+
+    return exec_fn
+
+
+def _forward_operand(
+    rf_expr: Term,
+    src_expr: Term,
+    entries: List[Tuple[Formula, Formula, Term, Term]],
+    slice_index: int,
+    operand: int,
+    bug: Optional[Bug],
+) -> Tuple[Term, Formula]:
+    """Forwarding chain for one operand (paper Sect. 3).
+
+    Scans preceding entries oldest-first, wrapping nearer producers around
+    the outside of the ITE chain so the *latest* preceding valid writer of
+    the source register takes priority; falls back to a Register-File read.
+    Returns ``(value, available)``.
+    """
+    wrong_source = (
+        bug is not None
+        and bug.kind == BugKind.FORWARD_WRONG_SOURCE
+        and bug.entry == slice_index
+        and bug.operand == operand
+    )
+    stale_result = (
+        bug is not None
+        and bug.kind == BugKind.FORWARD_STALE_RESULT
+        and bug.entry == slice_index
+        and bug.operand == operand
+    )
+    ignore_hazard = (
+        bug is not None
+        and bug.kind == BugKind.EXECUTE_IGNORES_HAZARD
+        and bug.entry == slice_index
+        and bug.operand == operand
+    )
+
+    value = builder.read(rf_expr, src_expr)
+    avail: Formula = TRUE
+    for j, (valid_j, vres_j, dest_j, result_j) in enumerate(entries):
+        compare_with = src_expr
+        if wrong_source:
+            # The planted defect: the comparator looks at the wrong field,
+            # so this producer is never (or wrongly) matched.
+            compare_with = builder.uf("wrong$cmp", [src_expr])
+        match = builder.and_(valid_j, builder.eq(dest_j, compare_with))
+        forwarded = result_j
+        if stale_result and j > 0:
+            forwarded = entries[j - 1][3]
+        value = builder.ite_term(match, forwarded, value)
+        avail = builder.ite_formula(match, vres_j, avail)
+    if ignore_hazard:
+        avail = TRUE
+    return value, avail
+
+
+def make_simulator(proc: OooProcessor) -> Simulator:
+    """A simulator over ``proc`` with symbolic initial state and inputs.
+
+    The nondeterministic scheduling inputs are driven with their Boolean
+    variables; ``flush`` and all ``activate_i`` default to false (regular
+    operation).  The harness flips them to run the abstraction function.
+    """
+    sim = Simulator(proc.circuit)
+    sim.init_state(proc.initial_state)
+    sim.set_input(proc.flush, FALSE)
+    for signal in proc.activate:
+        sim.set_input(signal, FALSE)
+    for i, signal in enumerate(proc.nd_execute):
+        sim.set_input(signal, builder.bvar(f"NDExecute{i + 1}"))
+    for j, signal in enumerate(proc.nd_fetch):
+        sim.set_input(signal, builder.bvar(f"NDFetch{j + 1}"))
+    return sim

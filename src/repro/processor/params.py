@@ -1,0 +1,50 @@
+"""Configuration of the out-of-order processor under verification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ProcessorConfig"]
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Parameters of the abstract out-of-order design (paper Sect. 3–4).
+
+    Attributes:
+        n_rob: number of instructions initially in the reorder buffer (N).
+        issue_width: instructions fetched per cycle (k).
+        retire_width: instructions retired per cycle (l); the paper assumes
+            ``l == k`` throughout and so does the default.
+    """
+
+    n_rob: int
+    issue_width: int
+    retire_width: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_rob < 1:
+            raise ValueError("the reorder buffer needs at least one entry")
+        if self.issue_width < 1:
+            raise ValueError("issue width must be positive")
+        if self.issue_width > self.n_rob:
+            # Tables 1-4 mark these configurations with a dash.
+            raise ValueError(
+                "issue/retire width cannot exceed the reorder-buffer size"
+            )
+        if self.retire_width is None:
+            object.__setattr__(self, "retire_width", self.issue_width)
+        if self.retire_width < 1 or self.retire_width > self.n_rob:
+            raise ValueError("retire width must be in [1, n_rob]")
+
+    @property
+    def total_slots(self) -> int:
+        """ROB latching capacity: N initial entries plus k fetch slots."""
+        return self.n_rob + self.issue_width
+
+    def describe(self) -> str:
+        return (
+            f"OOO processor: {self.n_rob}-entry ROB, "
+            f"issue width {self.issue_width}, retire width {self.retire_width}"
+        )

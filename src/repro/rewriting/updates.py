@@ -1,0 +1,102 @@
+"""Decomposition of Register-File expressions into update sequences.
+
+The rewriting rules of Sect. 6 operate on the ``<context, address, data>``
+update triples of Fig. 2.  Unlike :func:`repro.eufm.memory.collect_updates`,
+the decomposition here also records the memory-state *node* preceding each
+update — the rules need those seams: data expressions of later updates read
+from them, and proven-equal prefixes are replaced through them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..eufm import builder
+from ..eufm.ast import Formula, Term, TermITE, TermVar, Write, TRUE
+
+__all__ = ["ChainItem", "UpdateChain", "decompose_chain"]
+
+
+@dataclass(frozen=True)
+class ChainItem:
+    """One update plus the chain states around it."""
+
+    context: Formula
+    addr: Term
+    data: Term
+    #: memory state the update applies to (reads of this update's data
+    #: expression refer to it).
+    prev_state: Term
+    #: memory state after the update (the guarded-write node itself).
+    post_state: Term
+
+
+@dataclass
+class UpdateChain:
+    """A guarded write chain in update-list form (oldest first)."""
+
+    base: Term
+    items: List[ChainItem]
+
+    @property
+    def final_state(self) -> Term:
+        return self.items[-1].post_state if self.items else self.base
+
+    def state_after(self, count: int) -> Term:
+        """The chain state after the first ``count`` updates."""
+        if count == 0:
+            return self.base
+        return self.items[count - 1].post_state
+
+
+def decompose_chain(mem: Term) -> UpdateChain:
+    """Decompose a guarded write chain, keeping the intermediate states.
+
+    Raises :class:`ValueError` when ``mem`` is not in chain form.
+    """
+    items_reversed: List[ChainItem] = []
+    node = mem
+    while True:
+        if isinstance(node, Write):
+            items_reversed.append(
+                ChainItem(
+                    context=TRUE,
+                    addr=node.addr,
+                    data=node.data,
+                    prev_state=node.mem,
+                    post_state=node,
+                )
+            )
+            node = node.mem
+            continue
+        if isinstance(node, TermITE):
+            then, els = node.then, node.els
+            if isinstance(then, Write) and then.mem is els:
+                items_reversed.append(
+                    ChainItem(
+                        context=node.cond,
+                        addr=then.addr,
+                        data=then.data,
+                        prev_state=els,
+                        post_state=node,
+                    )
+                )
+                node = els
+                continue
+            if isinstance(els, Write) and els.mem is then:
+                items_reversed.append(
+                    ChainItem(
+                        context=builder.not_(node.cond),
+                        addr=els.addr,
+                        data=els.data,
+                        prev_state=then,
+                        post_state=node,
+                    )
+                )
+                node = then
+                continue
+            raise ValueError("memory term is not a guarded write chain")
+        break
+    items_reversed.reverse()
+    return UpdateChain(base=node, items=items_reversed)

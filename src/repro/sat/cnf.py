@@ -1,0 +1,111 @@
+"""CNF clause databases and DIMACS I/O.
+
+Literals use the DIMACS convention: variable ``v`` (a positive integer)
+appears positively as ``v`` and negatively as ``-v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+
+__all__ = ["Cnf", "parse_dimacs", "to_dimacs"]
+
+
+@dataclass
+class Cnf:
+    """A CNF formula: a clause list plus optional variable names.
+
+    ``names`` maps variable indices to human-readable names (e.g. the EUFM
+    Boolean variable or the ``e_ij`` comparison a CNF variable encodes);
+    it is metadata only and does not affect satisfiability.
+    """
+
+    num_vars: int = 0
+    clauses: List[Tuple[int, ...]] = field(default_factory=list)
+    names: Dict[int, str] = field(default_factory=dict)
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Allocate a fresh variable, optionally recording a name for it."""
+        self.num_vars += 1
+        if name is not None:
+            self.names[self.num_vars] = name
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause; tautologies are dropped, duplicates merged."""
+        unique: List[int] = []
+        seen = set()
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            var = abs(lit)
+            if var > self.num_vars:
+                raise ValueError(f"literal {lit} references unallocated variable")
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                unique.append(lit)
+        self.clauses.append(tuple(unique))
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "vars": self.num_vars,
+            "clauses": self.num_clauses,
+            "literals": sum(len(c) for c in self.clauses),
+        }
+
+    def check_assignment(self, assignment: Dict[int, bool]) -> bool:
+        """True when every clause has a satisfied literal under ``assignment``."""
+        for clause in self.clauses:
+            if not any(
+                assignment.get(abs(lit), False) == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+
+def to_dimacs(cnf: Cnf, comments: Sequence[str] = ()) -> str:
+    """Render a CNF formula in DIMACS format."""
+    lines: List[str] = [f"c {comment}" for comment in comments]
+    for var in sorted(cnf.names):
+        lines.append(f"c var {var} = {cnf.names[var]}")
+    lines.append(f"p cnf {cnf.num_vars} {cnf.num_clauses}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def parse_dimacs(text: str) -> Cnf:
+    """Parse a DIMACS CNF file (ignoring comments)."""
+    cnf: Optional[Cnf] = None
+    pending: List[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            cnf = Cnf(num_vars=int(parts[2]))
+            continue
+        if cnf is None:
+            raise ValueError("clause before problem line")
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if cnf is None:
+        raise ValueError("missing problem line")
+    if pending:
+        cnf.add_clause(pending)
+    return cnf

@@ -1,0 +1,29 @@
+"""Exhaustive reference SAT solver used to validate the CDCL solver."""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Optional
+
+from .cnf import Cnf
+
+__all__ = ["solve_by_enumeration"]
+
+
+def solve_by_enumeration(cnf: Cnf, max_vars: int = 22) -> Optional[Dict[int, bool]]:
+    """Return a satisfying assignment, or ``None`` when unsatisfiable.
+
+    Enumerates all assignments; guarded by ``max_vars`` so tests cannot
+    accidentally request an exponential blow-up.
+    """
+    if cnf.num_vars > max_vars:
+        raise ValueError(
+            f"{cnf.num_vars} variables exceed the enumeration bound {max_vars}"
+        )
+    if any(len(clause) == 0 for clause in cnf.clauses):
+        return None
+    for bits in product([False, True], repeat=cnf.num_vars):
+        assignment = {var: bits[var - 1] for var in range(1, cnf.num_vars + 1)}
+        if cnf.check_assignment(assignment):
+            return assignment
+    return None

@@ -1,0 +1,465 @@
+"""A CDCL SAT solver in the style of Chaff (Moskewicz et al., DAC 2001).
+
+Features: two-watched-literal unit propagation, first-UIP conflict-clause
+learning with clause minimization, VSIDS-like variable activities with a
+lazy max-heap decision queue, phase saving, Luby restarts, and
+activity-based learned-clause deletion.  This is the reproduction's
+substitute for the Chaff SAT-checker used in the paper; absolute speed
+differs (pure Python), the algorithmic behaviour does not.
+
+Implementation notes: assignments are stored as small integers
+(0 unassigned, +1 true, -1 false) indexed by variable, so the value of a
+literal ``lit`` is ``assigns[|lit|] * sign(lit)``; the propagation loop
+inlines these tests — they account for the bulk of the runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+from .cnf import Cnf
+
+__all__ = ["SatResult", "Solver", "solve_cnf"]
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT run."""
+
+    status: str  # "sat", "unsat" or "unknown"
+    model: Optional[Dict[int, bool]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    cpu_seconds: float = 0.0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+
+class _Clause:
+    """A clause with an activity score; literals[0:2] are watched."""
+
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[int], learned: bool) -> None:
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+class Solver:
+    """CDCL solver over a :class:`repro.sat.cnf.Cnf` instance."""
+
+    def __init__(self, cnf: Cnf) -> None:
+        self.num_vars = cnf.num_vars
+        # 1-indexed variable state; assigns holds 0 / +1 / -1.
+        self.assigns: List[int] = [0] * (self.num_vars + 1)
+        self.level: List[int] = [0] * (self.num_vars + 1)
+        self.reason: List[Optional[_Clause]] = [None] * (self.num_vars + 1)
+        self.activity: List[float] = [0.0] * (self.num_vars + 1)
+        self.saved_phase: List[int] = [-1] * (self.num_vars + 1)
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.queue_head = 0
+        self.watches: Dict[int, List[_Clause]] = {}
+        self.clauses: List[_Clause] = []
+        self.learned: List[_Clause] = []
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.ok = True
+        self.stats = SatResult(status="unknown")
+        # Lazy decision heap of (-activity, var); stale entries skipped.
+        self._heap: List[Tuple[float, int]] = []
+        for var in range(1, self.num_vars + 1):
+            self._heap.append((0.0, var))
+        for clause in cnf.clauses:
+            if not self._add_clause(list(clause)):
+                self.ok = False
+                break
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+
+    def _add_clause(self, literals: List[int]) -> bool:
+        """Attach a problem clause; False when it makes the instance unsat."""
+        literals = sorted(set(literals), key=abs)
+        seen = set(literals)
+        if any(-lit in seen for lit in literals):
+            return True  # tautology
+        assigns = self.assigns
+        simplified = []
+        for lit in literals:
+            value = assigns[lit] if lit > 0 else -assigns[-lit]
+            if value > 0:
+                return True  # satisfied at level 0
+            if value == 0:
+                simplified.append(lit)
+        literals = simplified
+        if not literals:
+            return False
+        if len(literals) == 1:
+            return self._enqueue(literals[0], None)
+        clause = _Clause(literals, False)
+        self.clauses.append(clause)
+        self.watches.setdefault(-literals[0], []).append(clause)
+        self.watches.setdefault(-literals[1], []).append(clause)
+        return True
+
+    # ------------------------------------------------------------------
+    # Assignment primitives
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        var = lit if lit > 0 else -lit
+        current = self.assigns[var]
+        if current != 0:
+            return (current > 0) == (lit > 0)
+        self.assigns[var] = 1 if lit > 0 else -1
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    # ------------------------------------------------------------------
+    # Propagation (hot path — values inlined)
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Propagate the queue; returns a conflicting clause or None."""
+        assigns = self.assigns
+        level = self.level
+        reason = self.reason
+        trail = self.trail
+        watches = self.watches
+        trail_lim_len_getter = self.trail_lim
+        while self.queue_head < len(trail):
+            lit = trail[self.queue_head]
+            self.queue_head += 1
+            self.stats.propagations += 1
+            watch_list = watches.get(lit)
+            if not watch_list:
+                continue
+            kept: List[_Clause] = []
+            conflict: Optional[_Clause] = None
+            index = 0
+            total = len(watch_list)
+            while index < total:
+                clause = watch_list[index]
+                index += 1
+                literals = clause.literals
+                if literals[0] == -lit:
+                    literals[0] = literals[1]
+                    literals[1] = -lit
+                first = literals[0]
+                first_value = assigns[first] if first > 0 else -assigns[-first]
+                if first_value > 0:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for slot in range(2, len(literals)):
+                    candidate = literals[slot]
+                    cand_value = (
+                        assigns[candidate] if candidate > 0 else -assigns[-candidate]
+                    )
+                    if cand_value >= 0:
+                        literals[1] = candidate
+                        literals[slot] = -lit
+                        watches.setdefault(-candidate, []).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if first_value < 0:
+                    kept.extend(watch_list[index:])
+                    conflict = clause
+                    break
+                # Unit: enqueue `first` (inlined _enqueue fast path).
+                var = first if first > 0 else -first
+                assigns[var] = 1 if first > 0 else -1
+                level[var] = len(trail_lim_len_getter)
+                reason[var] = clause
+                trail.append(first)
+            watches[lit] = kept
+            if conflict is not None:
+                self.queue_head = len(trail)
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit: Optional[int] = None
+        clause: Optional[_Clause] = conflict
+        trail_index = len(self.trail) - 1
+        current_level = len(self.trail_lim)
+
+        while True:
+            assert clause is not None
+            self._bump_clause(clause)
+            for reason_lit in clause.literals:
+                if lit is not None and reason_lit == lit:
+                    continue
+                var = reason_lit if reason_lit > 0 else -reason_lit
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(reason_lit)
+            while not seen[abs(self.trail[trail_index])]:
+                trail_index -= 1
+            lit = self.trail[trail_index]
+            trail_index -= 1
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learnt[0] = -lit
+                break
+            clause = self.reason[var]
+
+        learnt = self._minimize(learnt, seen)
+        if len(learnt) == 1:
+            return learnt, 0
+        back_level = max(self.level[abs(l)] for l in learnt[1:])
+        for slot in range(1, len(learnt)):
+            if self.level[abs(learnt[slot])] == back_level:
+                learnt[1], learnt[slot] = learnt[slot], learnt[1]
+                break
+        return learnt, back_level
+
+    def _minimize(self, learnt: List[int], seen: List[bool]) -> List[int]:
+        """Drop literals implied by the rest of the clause (local check)."""
+        for lit in learnt[1:]:
+            seen[abs(lit)] = True
+        minimized = [learnt[0]]
+        for lit in learnt[1:]:
+            reason = self.reason[abs(lit)]
+            if reason is None:
+                minimized.append(lit)
+                continue
+            if any(
+                abs(other) != abs(lit)
+                and not seen[abs(other)]
+                and self.level[abs(other)] > 0
+                for other in reason.literals
+            ):
+                minimized.append(lit)
+        for lit in learnt[1:]:
+            seen[abs(lit)] = False
+        return minimized
+
+    def _bump_var(self, var: int) -> None:
+        activity = self.activity[var] + self.var_inc
+        self.activity[var] = activity
+        heappush(self._heap, (-activity, var))
+        if activity > 1e100:
+            for index in range(1, self.num_vars + 1):
+                self.activity[index] *= 1e-100
+            self.var_inc *= 1e-100
+            self._heap = [
+                (-self.activity[v], v)
+                for v in range(1, self.num_vars + 1)
+                if self.assigns[v] == 0
+            ]
+            self._heap.sort()
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if not clause.learned:
+            return
+        clause.activity += self.cla_inc
+        if clause.activity > 1e20:
+            for learned in self.learned:
+                learned.activity *= 1e-20
+            self.cla_inc *= 1e-20
+
+    # ------------------------------------------------------------------
+    # Backtracking and decisions
+    # ------------------------------------------------------------------
+
+    def _backtrack(self, back_level: int) -> None:
+        if len(self.trail_lim) <= back_level:
+            return
+        boundary = self.trail_lim[back_level]
+        assigns = self.assigns
+        heap = self._heap
+        activity = self.activity
+        for lit in reversed(self.trail[boundary:]):
+            var = lit if lit > 0 else -lit
+            self.saved_phase[var] = assigns[var]
+            assigns[var] = 0
+            self.reason[var] = None
+            heappush(heap, (-activity[var], var))
+        del self.trail[boundary:]
+        del self.trail_lim[back_level:]
+        self.queue_head = len(self.trail)
+
+    def _decide(self) -> bool:
+        assigns = self.assigns
+        activity = self.activity
+        heap = self._heap
+        while heap:
+            neg_activity, var = heappop(heap)
+            if assigns[var] != 0 or -neg_activity != activity[var]:
+                continue  # stale heap entry
+            self.trail_lim.append(len(self.trail))
+            lit = var if self.saved_phase[var] > 0 else -var
+            self._enqueue(lit, None)
+            self.stats.decisions += 1
+            return True
+        # Heap exhausted: fall back to a scan for any unassigned variable.
+        for var in range(1, self.num_vars + 1):
+            if assigns[var] == 0:
+                self.trail_lim.append(len(self.trail))
+                lit = var if self.saved_phase[var] > 0 else -var
+                self._enqueue(lit, None)
+                self.stats.decisions += 1
+                return True
+        return False
+
+    def _reduce_learned(self) -> None:
+        if len(self.learned) < 4000:
+            return
+        self.learned.sort(key=lambda clause: clause.activity, reverse=True)
+        keep = len(self.learned) // 2
+        locked = {
+            id(self.reason[abs(lit)])
+            for lit in self.trail
+            if self.reason[abs(lit)] is not None
+        }
+        survivors = []
+        removed = set()
+        for position, clause in enumerate(self.learned):
+            if position < keep or id(clause) in locked or len(clause.literals) <= 2:
+                survivors.append(clause)
+            else:
+                removed.add(id(clause))
+        if not removed:
+            return
+        self.learned = survivors
+        for lit, watch_list in self.watches.items():
+            self.watches[lit] = [c for c in watch_list if id(c) not in removed]
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        max_conflicts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> SatResult:
+        """Run the solver, optionally bounded by conflicts or wall time."""
+        start = time.perf_counter()
+        result = self.stats
+        if not self.ok:
+            result.status = "unsat"
+            result.cpu_seconds = time.perf_counter() - start
+            return result
+
+        restart_base = 100
+        luby_index = 1
+        conflicts_until_restart = restart_base * _luby(luby_index)
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                result.conflicts += 1
+                conflicts_since_restart += 1
+                if not self.trail_lim:
+                    result.status = "unsat"
+                    break
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        result.status = "unsat"
+                        break
+                else:
+                    clause = _Clause(learnt, learned=True)
+                    clause.activity = self.cla_inc
+                    self.learned.append(clause)
+                    self.watches.setdefault(-learnt[0], []).append(clause)
+                    self.watches.setdefault(-learnt[1], []).append(clause)
+                    self._enqueue(learnt[0], clause)
+                    result.learned_clauses += 1
+                self.var_inc /= self.var_decay
+                self.cla_inc /= self.cla_decay
+                if max_conflicts is not None and result.conflicts >= max_conflicts:
+                    result.status = "unknown"
+                    break
+                if max_seconds is not None and result.conflicts % 256 == 0:
+                    if time.perf_counter() - start > max_seconds:
+                        result.status = "unknown"
+                        break
+                continue
+
+            if conflicts_since_restart >= conflicts_until_restart:
+                conflicts_since_restart = 0
+                luby_index += 1
+                conflicts_until_restart = restart_base * _luby(luby_index)
+                result.restarts += 1
+                self._backtrack(0)
+                self._reduce_learned()
+                continue
+
+            if not self._decide():
+                result.status = "sat"
+                result.model = {
+                    var: self.assigns[var] > 0
+                    for var in range(1, self.num_vars + 1)
+                    if self.assigns[var] != 0
+                }
+                break
+
+        result.cpu_seconds = time.perf_counter() - start
+        return result
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    ``index`` is 1-based.  Standard MiniSat-style computation: find the
+    subsequence containing ``index`` and the position within it.
+    """
+    x = index - 1
+    size, level = 1, 0
+    while size < x + 1:
+        level += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        level -= 1
+        x = x % size
+    return 1 << level
+
+
+def solve_cnf(
+    cnf: Cnf,
+    max_conflicts: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+) -> SatResult:
+    """Solve ``cnf`` with a fresh :class:`Solver` instance."""
+    return Solver(cnf).solve(max_conflicts=max_conflicts, max_seconds=max_seconds)

@@ -1,0 +1,49 @@
+"""TLSim — an event-driven term-level symbolic simulator.
+
+The reproduction's substitute for the TLSim tool used by the paper: a small
+structural HDL (signals, gates, muxes, latches, memory ports, UF blocks)
+and a simulator whose event-driven evaluation re-computes only the cone of
+influence of changed signals — the optimization described in Sect. 7.
+"""
+
+from .circuit import Circuit, CircuitError
+from .components import (
+    AndGate,
+    Component,
+    EqComparator,
+    Fn,
+    Latch,
+    MemRead,
+    MemWrite,
+    Mux,
+    NotGate,
+    OrGate,
+    UFBlock,
+    UPBlock,
+)
+from .signals import FORMULA, MEMORY, TERM, Signal
+from .simulator import SimulationError, Simulator, SimulatorStats
+
+__all__ = [
+    "Circuit",
+    "CircuitError",
+    "AndGate",
+    "Component",
+    "EqComparator",
+    "Fn",
+    "Latch",
+    "MemRead",
+    "MemWrite",
+    "Mux",
+    "NotGate",
+    "OrGate",
+    "UFBlock",
+    "UPBlock",
+    "FORMULA",
+    "MEMORY",
+    "TERM",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "SimulatorStats",
+]

@@ -1,0 +1,136 @@
+"""Circuit netlists for the term-level simulator.
+
+A circuit is a set of components wired by signals.  Primary inputs are
+signals driven by no component; latch outputs are state.  Construction
+validates single-driver discipline and the absence of combinational
+cycles, and precomputes the topological evaluation order used by the
+event-driven simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .components import Component, Latch
+from .signals import Signal
+
+__all__ = ["Circuit", "CircuitError"]
+
+
+class CircuitError(ValueError):
+    """Malformed netlist: multiple drivers, dangling wires, or cycles."""
+
+
+class Circuit:
+    """A validated netlist with a topological order of combinational logic."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.components: List[Component] = []
+        self.latches: List[Latch] = []
+        self._driver: Dict[Signal, Component] = {}
+        self._signals: Set[Signal] = set()
+        self._frozen = False
+        self._topo_order: Optional[List[Component]] = None
+        self._readers: Optional[Dict[Signal, List[Component]]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add(self, component: Component) -> Component:
+        """Attach a component; returns it for chaining."""
+        if self._frozen:
+            raise CircuitError("circuit is frozen; no further additions")
+        for out in component.outputs:
+            if out in self._driver:
+                raise CircuitError(
+                    f"signal {out.name!r} driven by both "
+                    f"{self._driver[out].name!r} and {component.name!r}"
+                )
+            self._driver[out] = component
+        self.components.append(component)
+        if isinstance(component, Latch):
+            self.latches.append(component)
+        self._signals.update(component.inputs)
+        self._signals.update(component.outputs)
+        return component
+
+    def freeze(self) -> None:
+        """Validate the netlist and compute the evaluation order."""
+        if self._frozen:
+            return
+        self._topo_order = self._topological_order()
+        readers: Dict[Signal, List[Component]] = {}
+        for component in self.components:
+            for signal in component.inputs:
+                readers.setdefault(signal, []).append(component)
+        self._readers = readers
+        self._frozen = True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def signals(self) -> Set[Signal]:
+        return set(self._signals)
+
+    @property
+    def primary_inputs(self) -> List[Signal]:
+        """Signals no component drives (latch outputs are *not* inputs)."""
+        driven = set(self._driver)
+        inputs = [s for s in self._signals if s not in driven]
+        return sorted(inputs, key=lambda s: s.name)
+
+    @property
+    def state_signals(self) -> List[Signal]:
+        return [latch.out for latch in self.latches]
+
+    def driver_of(self, signal: Signal) -> Optional[Component]:
+        return self._driver.get(signal)
+
+    def readers_of(self, signal: Signal) -> List[Component]:
+        if self._frozen and self._readers is not None:
+            return self._readers.get(signal, [])
+        return [c for c in self.components if signal in c.inputs]
+
+    def combinational_order(self) -> List[Component]:
+        """Topologically sorted combinational components."""
+        self.freeze()
+        assert self._topo_order is not None
+        return list(self._topo_order)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _topological_order(self) -> List[Component]:
+        combinational = [c for c in self.components if not isinstance(c, Latch)]
+        # Edges: producer -> consumer through a shared signal.  Latch
+        # outputs and primary inputs are sources, so they impose no edges.
+        producer: Dict[Signal, Component] = {}
+        for component in combinational:
+            for out in component.outputs:
+                producer[out] = component
+        indegree: Dict[Component, int] = {c: 0 for c in combinational}
+        consumers: Dict[Component, List[Component]] = {c: [] for c in combinational}
+        for component in combinational:
+            for signal in component.inputs:
+                source = producer.get(signal)
+                if source is not None:
+                    consumers[source].append(component)
+                    indegree[component] += 1
+        ready = [c for c in combinational if indegree[c] == 0]
+        order: List[Component] = []
+        while ready:
+            component = ready.pop()
+            order.append(component)
+            for consumer in consumers[component]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(combinational):
+            cyclic = [c.name for c in combinational if indegree[c] > 0]
+            raise CircuitError(f"combinational cycle through {cyclic}")
+        return order

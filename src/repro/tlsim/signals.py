@@ -1,0 +1,57 @@
+"""Signals for the term-level symbolic simulator.
+
+A signal is a named wire that carries an EUFM expression — a term for
+word-level buses and memory states, a formula for control bits.  Signals
+are pure metadata: the simulator owns the mapping from signal to its
+current symbolic value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Signal", "TERM", "FORMULA", "MEMORY"]
+
+#: signal sorts
+TERM = "term"
+FORMULA = "formula"
+MEMORY = "memory"
+
+_SORTS = (TERM, FORMULA, MEMORY)
+
+
+@dataclass(frozen=True, eq=False)
+class Signal:
+    """A named wire with a sort (term, formula, or memory).
+
+    Signals hash by a cached value and compare by ``(name, sort)`` — they
+    are dictionary keys in the simulator's hottest loops.
+    """
+
+    name: str
+    sort: str = TERM
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("signal needs a non-empty name")
+        if self.sort not in _SORTS:
+            raise ValueError(f"unknown signal sort {self.sort!r}")
+        object.__setattr__(self, "_hash", hash((self.name, self.sort)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, Signal)
+            and self.name == other.name
+            and self.sort == other.sort
+        )
+
+    def is_control(self) -> bool:
+        return self.sort == FORMULA
+
+    def is_memory(self) -> bool:
+        return self.sort == MEMORY

@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.rob == 16
+        assert args.width == 4
+        assert args.method == "rewriting"
+        assert args.bug is None
+
+    def test_bug_options(self):
+        args = build_parser().parse_args(
+            ["--bug", "forward-wrong-source", "--entry", "7", "--operand", "2"]
+        )
+        assert args.bug == "forward-wrong-source"
+        assert args.entry == 7
+        assert args.operand == 2
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--bug", "not-a-bug"])
+
+
+class TestMain:
+    def test_correct_design_exits_zero(self, capsys):
+        code = main(["--rob", "4", "--width", "2"])
+        assert code == 0
+        assert "correct" in capsys.readouterr().out
+
+    def test_buggy_design_exits_one(self, capsys):
+        code = main(
+            ["--rob", "4", "--width", "2", "--bug", "forward-wrong-source",
+             "--entry", "3"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "slice 3" in out
+
+    def test_positive_equality_method(self, capsys):
+        code = main(["--rob", "2", "--width", "1", "--method",
+                     "positive_equality"])
+        assert code == 0
+
+    def test_sat_budget_exit_code(self, capsys):
+        code = main(
+            ["--rob", "3", "--width", "3", "--method", "positive_equality",
+             "--sat-budget", "0.05"]
+        )
+        assert code == 2
+
+    def test_retire_width_flag(self, capsys):
+        code = main(["--rob", "6", "--width", "3", "--retire-width", "2"])
+        assert code == 0
+        assert "retire width 2" in capsys.readouterr().out

@@ -1,0 +1,39 @@
+"""Property test: every well-formed configuration verifies as correct."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import ProcessorConfig, verify
+
+
+@st.composite
+def configs(draw):
+    n = draw(st.integers(1, 8))
+    k = draw(st.integers(1, min(n, 4)))
+    l = draw(st.integers(1, min(n, 4)))
+    return ProcessorConfig(n_rob=n, issue_width=k, retire_width=l)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(configs())
+def test_rewriting_verifies_every_wellformed_config(config):
+    result = verify(config)
+    assert result.correct, (
+        f"{config.describe()} failed: entry={result.suspected_entry}, "
+        f"{result.failure_detail}"
+    )
+    assert result.encoding_stats.eij_primary == 0
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(configs(), st.booleans())
+def test_criterion_choice_never_changes_the_verdict(config, use_case_split):
+    criterion = "case_split" if use_case_split else "disjunction"
+    assert verify(config, criterion=criterion).correct

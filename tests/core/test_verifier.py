@@ -1,0 +1,114 @@
+"""End-to-end tests of the public verification API."""
+
+import pytest
+
+from repro import Bug, BugKind, ProcessorConfig, forwarding_bug, verify
+from repro.core import render_matrix, render_rows
+
+
+class TestVerifyCorrect:
+    @pytest.mark.parametrize("n,k", [(1, 1), (2, 2), (4, 2), (8, 4)])
+    def test_rewriting_method(self, n, k):
+        result = verify(ProcessorConfig(n_rob=n, issue_width=k))
+        assert result.correct is True
+        assert result.method == "rewriting"
+        assert result.suspected_entry is None
+        assert result.timings["total"] > 0
+
+    @pytest.mark.parametrize("n,k", [(1, 1), (2, 1), (2, 2)])
+    def test_positive_equality_method(self, n, k):
+        result = verify(
+            ProcessorConfig(n_rob=n, issue_width=k), method="positive_equality"
+        )
+        assert result.correct is True
+
+    def test_methods_agree_on_small_configs(self):
+        config = ProcessorConfig(n_rob=2, issue_width=2)
+        by_rewriting = verify(config, method="rewriting")
+        by_pe = verify(config, method="positive_equality")
+        assert by_rewriting.correct == by_pe.correct is True
+
+    def test_case_split_criterion(self):
+        result = verify(
+            ProcessorConfig(n_rob=3, issue_width=2), criterion="case_split"
+        )
+        assert result.correct is True
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            verify(ProcessorConfig(n_rob=1, issue_width=1), method="magic")
+
+    def test_summary_readable(self):
+        result = verify(ProcessorConfig(n_rob=2, issue_width=1))
+        text = result.summary()
+        assert "correct" in text
+        assert "CNF" in text
+
+
+class TestVerifyBuggy:
+    def test_rewriting_names_the_slice(self):
+        result = verify(
+            ProcessorConfig(n_rob=8, issue_width=2), bug=forwarding_bug(6)
+        )
+        assert result.correct is False
+        assert result.suspected_entry == 6
+
+    def test_pe_finds_counterexample(self):
+        result = verify(
+            ProcessorConfig(n_rob=2, issue_width=1),
+            method="positive_equality",
+            bug=forwarding_bug(2),
+        )
+        assert result.correct is False
+        assert result.counterexample
+
+    def test_methods_agree_on_buggy_design(self):
+        config = ProcessorConfig(n_rob=2, issue_width=1)
+        bug = Bug(BugKind.RETIRE_WITHOUT_RESULT, entry=1)
+        assert verify(config, bug=bug).correct is False
+        assert verify(config, method="positive_equality", bug=bug).correct is False
+
+    @pytest.mark.parametrize(
+        "kind,entry",
+        [
+            (BugKind.FORWARD_WRONG_SOURCE, 3),
+            (BugKind.FORWARD_STALE_RESULT, 4),
+            (BugKind.EXECUTE_IGNORES_HAZARD, 2),
+            (BugKind.RETIRE_WITHOUT_RESULT, 2),
+            (BugKind.RETIRE_OUT_OF_ORDER, 2),
+            (BugKind.RETIRE_IGNORES_VALID, 1),
+            (BugKind.PC_SINGLE_INCREMENT, 1),
+        ],
+    )
+    def test_every_bug_kind_detected_by_rewriting_flow(self, kind, entry):
+        result = verify(
+            ProcessorConfig(n_rob=4, issue_width=2), bug=Bug(kind, entry=entry)
+        )
+        assert result.correct is False
+
+    def test_sat_budget_raises_timeout(self):
+        with pytest.raises(TimeoutError):
+            verify(
+                ProcessorConfig(n_rob=3, issue_width=3),
+                method="positive_equality",
+                max_conflicts=5,
+            )
+
+
+class TestReporting:
+    def test_render_matrix_with_dashes(self):
+        text = render_matrix(
+            "Table X",
+            sizes=[2, 4],
+            widths=[1, 2, 4],
+            cell=lambda size, width: size * width,
+        )
+        assert "Table X" in text
+        lines = text.splitlines()
+        assert lines[-1].split() == ["4", "4", "8", "16"]
+        assert "-" in lines[-2]  # (2, 4) impossible
+
+    def test_render_rows(self):
+        text = render_rows("T", ["a", "b"], [[1, 2], [3, 4]])
+        assert "T" in text
+        assert text.splitlines()[-1].split() == ["3", "4"]

@@ -1,0 +1,121 @@
+"""Unit tests for the congruence-closure assumption environment."""
+
+import pytest
+
+from repro.decision import Env
+from repro.eufm import bvar, eq, tvar, uf, up
+
+
+def _env(*apps):
+    return Env(list(apps))
+
+
+class TestUnionFind:
+    def test_fresh_terms_are_their_own_representatives(self):
+        env = _env()
+        assert env.find(tvar("x")) is tvar("x")
+
+    def test_assume_equality_merges(self):
+        env = _env().assume(eq(tvar("x"), tvar("y")), True)
+        assert env is not None
+        assert env.congruent(tvar("x"), tvar("y"))
+
+    def test_assume_does_not_mutate_original(self):
+        env = _env()
+        extended = env.assume(eq(tvar("x"), tvar("y")), True)
+        assert extended is not None
+        assert not env.congruent(tvar("x"), tvar("y"))
+
+    def test_transitive_merge(self):
+        env = _env()
+        env = env.assume(eq(tvar("x"), tvar("y")), True)
+        env = env.assume(eq(tvar("y"), tvar("z")), True)
+        assert env.congruent(tvar("x"), tvar("z"))
+
+    def test_disequality_tracked(self):
+        env = _env().assume(eq(tvar("x"), tvar("y")), False)
+        assert env is not None
+        assert env.known_distinct(tvar("x"), tvar("y"))
+        assert not env.known_distinct(tvar("x"), tvar("z"))
+
+    def test_conflicting_assumptions_rejected(self):
+        env = _env().assume(eq(tvar("x"), tvar("y")), True)
+        assert env.assume(eq(tvar("x"), tvar("y")), False) is None
+
+    def test_merge_violating_disequality_rejected(self):
+        env = _env()
+        env = env.assume(eq(tvar("x"), tvar("y")), False)
+        env = env.assume(eq(tvar("y"), tvar("z")), True)
+        assert env is not None
+        assert env.assume(eq(tvar("x"), tvar("z")), True) is None
+
+    def test_deep_chain_find_terminates(self):
+        env = _env()
+        names = [tvar(f"chain{i}") for i in range(50)]
+        for a, b in zip(names, names[1:]):
+            env = env.assume(eq(a, b), True)
+            assert env is not None
+        assert env.congruent(names[0], names[-1])
+
+
+class TestCongruencePropagation:
+    def test_merging_args_merges_applications(self):
+        fx, fy = uf("f", [tvar("x")]), uf("f", [tvar("y")])
+        env = _env(fx, fy).assume(eq(tvar("x"), tvar("y")), True)
+        assert env is not None
+        assert env.congruent(fx, fy)
+
+    def test_propagation_is_transitive_through_nesting(self):
+        gx, gy = uf("g", [tvar("x")]), uf("g", [tvar("y")])
+        fgx, fgy = uf("f", [gx]), uf("f", [gy])
+        env = _env(gx, gy, fgx, fgy).assume(eq(tvar("x"), tvar("y")), True)
+        assert env is not None
+        assert env.congruent(fgx, fgy)
+
+    def test_congruence_contradicting_disequality_rejected(self):
+        fx, fy = uf("f", [tvar("x")]), uf("f", [tvar("y")])
+        env = _env(fx, fy).assume(eq(fx, fy), False)
+        assert env is not None
+        assert env.assume(eq(tvar("x"), tvar("y")), True) is None
+
+    def test_universe_extends_on_assumption(self):
+        """Applications first mentioned in an assumption join the universe."""
+        fx, fy = uf("f", [tvar("x")]), uf("f", [tvar("y")])
+        env = _env()  # empty universe
+        env = env.assume(eq(fx, tvar("a")), True)
+        env = env.assume(eq(fy, tvar("b")), True)
+        env = env.assume(eq(tvar("x"), tvar("y")), True)
+        assert env is not None
+        assert env.congruent(tvar("a"), tvar("b"))
+
+
+class TestBooleanAtoms:
+    def test_bool_var_assignment(self):
+        env = _env().assume(bvar("p"), True)
+        assert env.query(bvar("p")) is True
+        assert env.query(bvar("q")) is None
+
+    def test_conflicting_bool_assignment_rejected(self):
+        env = _env().assume(bvar("p"), True)
+        assert env.assume(bvar("p"), False) is None
+
+    def test_predicate_congruence_in_queries(self):
+        env = _env()
+        env = env.assume(up("pr", [tvar("x")]), True)
+        env = env.assume(eq(tvar("x"), tvar("y")), True)
+        assert env.query(up("pr", [tvar("y")])) is True
+
+    def test_predicate_conflict_via_congruence(self):
+        env = _env()
+        env = env.assume(up("pr", [tvar("x")]), True)
+        env = env.assume(up("pr", [tvar("y")]), False)
+        assert env is not None
+        assert env.assume(eq(tvar("x"), tvar("y")), True) is None
+
+    def test_query_equation_three_valued(self):
+        env = _env()
+        assert env.query(eq(tvar("x"), tvar("y"))) is None
+        env_eq = env.assume(eq(tvar("x"), tvar("y")), True)
+        assert env_eq.query(eq(tvar("x"), tvar("y"))) is True
+        env_ne = env.assume(eq(tvar("x"), tvar("y")), False)
+        assert env_ne.query(eq(tvar("x"), tvar("y"))) is False

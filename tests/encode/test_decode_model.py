@@ -1,0 +1,81 @@
+"""Tests for counterexample decoding and encoding statistics."""
+
+from repro.encode import check_validity, decode_model, encode_validity
+from repro.eufm import and_, bvar, eq, implies, not_, or_, tvar, uf
+
+
+class TestDecodeModel:
+    def test_propositional_counterexample(self):
+        phi = implies(bvar("p"), bvar("q"))
+        result = check_validity(phi)
+        assert not result.valid
+        assert result.counterexample["p"] is True
+        assert result.counterexample["q"] is False
+
+    def test_eij_appears_in_counterexample(self):
+        x, y = tvar("x"), tvar("y")
+        # Invalid: f(x) = f(y) does not imply x = y.  x and y only occur
+        # positively, so they are p-variables: maximal diversity makes them
+        # distinct without an e_ij variable, and the counterexample sets
+        # the comparison between the two fresh f-application variables to
+        # True (f(x) = f(y) while x != y).
+        phi = implies(eq(uf("f", [x]), uf("f", [y])), eq(x, y))
+        result = check_validity(phi)
+        assert not result.valid
+        eij_entries = {
+            name: value
+            for name, value in result.counterexample.items()
+            if name.startswith("eij!")
+        }
+        assert eij_entries
+        assert any(value is True for value in eij_entries.values())
+        encoded = result.encoded
+        diverse = encoded.eij.diverse_pairs
+        assert any({x, y} == set(pair) for pair in diverse)
+
+    def test_counterexample_respects_transitivity(self):
+        x, y, z = tvar("x"), tvar("y"), tvar("z")
+        # Invalid formula whose counterexamples must still satisfy
+        # transitivity among the three comparisons.
+        phi = or_(
+            not_(eq(x, y)), not_(eq(y, z)), eq(x, z), bvar("p")
+        )  # valid actually: transitivity makes it valid
+        assert check_validity(phi).valid
+
+    def test_valid_formula_has_no_counterexample(self):
+        result = check_validity(eq(tvar("x"), tvar("x")))
+        assert result.valid
+        assert result.counterexample is None
+
+
+class TestEncodingStats:
+    def test_as_row_keys(self):
+        encoded = encode_validity(eq(tvar("x"), tvar("y")))
+        row = encoded.stats.as_row()
+        assert set(row) == {
+            "eij_primary",
+            "other_primary",
+            "total_primary",
+            "cnf_vars",
+            "cnf_clauses",
+            "translate_seconds",
+        }
+
+    def test_constant_formula_shortcut(self):
+        from repro.eufm import TRUE
+
+        encoded = encode_validity(TRUE)
+        assert encoded.constant_validity is True
+        result = check_validity(TRUE)
+        assert result.valid and result.sat_result is None
+
+    def test_invalid_constant(self):
+        from repro.eufm import FALSE
+
+        assert check_validity(FALSE).valid is False
+
+    def test_unknown_memory_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            encode_validity(eq(tvar("x"), tvar("y")), memory_mode="magic")

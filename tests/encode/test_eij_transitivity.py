@@ -1,0 +1,171 @@
+"""Tests for the e_ij encoding and the transitivity constraints."""
+
+import pytest
+
+from repro.encode import encode_equalities, transitivity_constraints
+from repro.eufm import (
+    FALSE,
+    TRUE,
+    and_,
+    bool_variables,
+    bvar,
+    eq,
+    equations,
+    implies,
+    ite_term,
+    not_,
+    or_,
+    tvar,
+)
+
+
+class TestLeafEncoding:
+    def test_same_variable_true(self):
+        x = tvar("x")
+        # eq(x, x) is TRUE at construction; feed through a connective.
+        phi = or_(eq(x, x), bvar("p"))
+        result = encode_equalities(phi, g_vars=set())
+        assert result.formula is TRUE
+
+    def test_p_vars_encode_false(self):
+        phi = eq(tvar("x"), tvar("y"))
+        result = encode_equalities(phi, g_vars=set())
+        assert result.formula is FALSE
+        assert len(result.diverse_pairs) == 1
+
+    def test_g_vars_get_eij(self):
+        x, y = tvar("x"), tvar("y")
+        phi = eq(x, y)
+        result = encode_equalities(phi, g_vars={x, y})
+        assert result.num_eij == 1
+        assert result.formula in result.eij_vars.values()
+
+    def test_mixed_p_g_encodes_false(self):
+        x, y = tvar("x"), tvar("y")
+        result = encode_equalities(eq(x, y), g_vars={x})
+        assert result.formula is FALSE
+
+    def test_eij_is_symmetric(self):
+        x, y = tvar("x"), tvar("y")
+        phi = and_(or_(eq(x, y), bvar("p")), or_(eq(y, x), bvar("q")))
+        result = encode_equalities(phi, g_vars={x, y})
+        assert result.num_eij == 1
+
+    def test_no_equations_remain(self):
+        x, y, z = tvar("x"), tvar("y"), tvar("z")
+        phi = and_(
+            or_(eq(x, y), bvar("p")),
+            or_(eq(ite_term(bvar("c"), x, z), y), bvar("q")),
+        )
+        result = encode_equalities(phi, g_vars={x, y, z})
+        assert equations(result.formula) == []
+
+
+class TestItePushing:
+    def test_ite_equation_splits_on_guard(self):
+        c = bvar("c")
+        x, y, z = tvar("x"), tvar("y"), tvar("z")
+        phi = eq(ite_term(c, x, y), z)
+        result = encode_equalities(phi, g_vars={x, y, z})
+        # ITE(c, e_xz, e_yz): both leaf comparisons present.
+        assert result.num_eij == 2
+
+    def test_ite_guard_with_p_leaves_simplifies(self):
+        c = bvar("c")
+        x, y, z = tvar("x"), tvar("y"), tvar("z")
+        phi = eq(ite_term(c, x, y), z)
+        result = encode_equalities(phi, g_vars=set())
+        assert result.formula is FALSE
+
+    def test_nested_ite_both_sides(self):
+        c1, c2 = bvar("c1"), bvar("c2")
+        a, b, x, y = tvar("a"), tvar("b"), tvar("x"), tvar("y")
+        phi = eq(ite_term(c1, a, b), ite_term(c2, x, y))
+        result = encode_equalities(phi, g_vars={a, b, x, y})
+        assert result.num_eij == 4
+
+    def test_shared_leaves_collapse(self):
+        c1, c2 = bvar("c1"), bvar("c2")
+        a, b = tvar("a"), tvar("b")
+        phi = eq(ite_term(c1, a, b), ite_term(c2, a, b))
+        result = encode_equalities(phi, g_vars={a, b})
+        # Leaf pairs: (a,a)=T, (a,b)=e, (b,a)=e, (b,b)=T -> one e_ij var.
+        assert result.num_eij == 1
+
+
+class TestTransitivity:
+    def _eij(self, *pairs):
+        eij = {}
+        for a, b in pairs:
+            key = frozenset((tvar(a), tvar(b)))
+            low, high = sorted((a, b))
+            eij[key] = bvar(f"eij!{low}!{high}")
+        return eij
+
+    def test_no_edges_no_constraints(self):
+        result = transitivity_constraints({})
+        assert result.constraints == []
+
+    def test_two_disjoint_edges_no_constraints(self):
+        eij = self._eij(("a", "b"), ("c", "d"))
+        result = transitivity_constraints(eij)
+        assert result.constraints == []
+
+    def test_triangle_gets_three_constraints(self):
+        eij = self._eij(("a", "b"), ("b", "c"), ("a", "c"))
+        result = transitivity_constraints(eij)
+        assert len(result.triangles) == 1
+        assert len(result.constraints) == 3
+        assert not result.fill_vars
+
+    def test_acyclic_graph_needs_no_constraints(self):
+        """A path has no cycles, hence any edge assignment is realizable;
+        the sparse method (Bryant & Velev) emits nothing."""
+        eij = self._eij(("a", "b"), ("b", "c"))
+        result = transitivity_constraints(eij)
+        assert not result.fill_vars
+        assert result.constraints == []
+
+    def test_four_cycle_chordalized(self):
+        eij = self._eij(("a", "b"), ("b", "c"), ("c", "d"), ("a", "d"))
+        result = transitivity_constraints(eij)
+        # One chord splits the square into two triangles.
+        assert len(result.fill_vars) == 1
+        assert len(result.triangles) == 2
+
+    def test_complete_graph_k4(self):
+        names = ["a", "b", "c", "d"]
+        pairs = [
+            (names[i], names[j])
+            for i in range(4)
+            for j in range(i + 1, 4)
+        ]
+        result = transitivity_constraints(self._eij(*pairs))
+        assert not result.fill_vars
+        # K4 elimination: first vertex closes 3 triangles, next closes 1.
+        assert len(result.triangles) == 4
+
+    def test_constraints_are_horn_implications(self):
+        eij = self._eij(("a", "b"), ("b", "c"), ("a", "c"))
+        result = transitivity_constraints(eij)
+        from repro.eufm import Interpretation, evaluate
+
+        # Every constraint holds whenever the e-variables describe a real
+        # equivalence (all true).
+        interp = Interpretation(
+            bool_values={v.name: True for v in eij.values()}
+        )
+        for constraint in result.constraints:
+            assert evaluate(constraint, interp) is True
+
+    def test_violating_assignment_caught(self):
+        eij = self._eij(("a", "b"), ("b", "c"), ("a", "c"))
+        result = transitivity_constraints(eij)
+        from repro.eufm import Interpretation, evaluate
+
+        bad = {"eij!a!b": True, "eij!b!c": True, "eij!a!c": False}
+        interp = Interpretation(bool_values=bad)
+        assert any(
+            evaluate(constraint, interp) is False
+            for constraint in result.constraints
+        )

@@ -1,0 +1,176 @@
+"""End-to-end tests of the EVC encoding pipeline against the decision oracle.
+
+The key invariant: for memory-free formulas, ``check_validity`` must agree
+exactly with the reference decision procedure.  For formulas with memories
+(occurring positively), the precise elimination must preserve the verdict.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.decision import is_valid
+from repro.encode import check_validity, encode_validity
+from repro.eufm import (
+    FALSE,
+    TRUE,
+    and_,
+    bvar,
+    eq,
+    iff,
+    implies,
+    ite_formula,
+    ite_term,
+    not_,
+    or_,
+    read,
+    tvar,
+    uf,
+    up,
+    write,
+)
+
+
+class TestKnownVerdicts:
+    VALID = [
+        lambda: TRUE,
+        lambda: or_(bvar("p"), not_(bvar("p"))),
+        lambda: eq(tvar("x"), tvar("x")),
+        lambda: implies(eq(tvar("x"), tvar("y")), eq(tvar("y"), tvar("x"))),
+        lambda: implies(
+            and_(eq(tvar("x"), tvar("y")), eq(tvar("y"), tvar("z"))),
+            eq(tvar("x"), tvar("z")),
+        ),
+        lambda: implies(
+            eq(tvar("x"), tvar("y")),
+            eq(uf("f", [tvar("x")]), uf("f", [tvar("y")])),
+        ),
+        lambda: implies(
+            and_(eq(tvar("x"), tvar("y")), up("p", [tvar("x")])),
+            up("p", [tvar("y")]),
+        ),
+        lambda: or_(
+            eq(ite_term(bvar("c"), tvar("x"), tvar("y")), tvar("x")),
+            eq(ite_term(bvar("c"), tvar("x"), tvar("y")), tvar("y")),
+        ),
+        # Forwarding (the paper's core memory reasoning):
+        lambda: implies(
+            eq(tvar("a"), tvar("b")),
+            eq(read(write(tvar("RF"), tvar("a"), tvar("d")), tvar("b")), tvar("d")),
+        ),
+        lambda: eq(
+            write(tvar("RF"), tvar("a"), read(tvar("RF"), tvar("a"))),
+            tvar("RF"),
+        ),
+    ]
+
+    INVALID = [
+        lambda: FALSE,
+        lambda: bvar("p"),
+        lambda: eq(tvar("x"), tvar("y")),
+        lambda: eq(uf("f", [tvar("x")]), uf("f", [tvar("y")])),
+        lambda: implies(eq(uf("f", [tvar("x")]), uf("f", [tvar("y")])),
+                        eq(tvar("x"), tvar("y"))),
+        lambda: up("p", [tvar("x")]),
+        lambda: eq(read(write(tvar("RF"), tvar("a"), tvar("d")), tvar("b")),
+                   tvar("d")),
+        lambda: eq(write(tvar("RF"), tvar("a"), tvar("d")), tvar("RF")),
+    ]
+
+    @pytest.mark.parametrize("index", range(len(VALID)))
+    def test_valid_formulas(self, index):
+        phi = self.VALID[index]()
+        assert check_validity(phi).valid is True
+
+    @pytest.mark.parametrize("index", range(len(INVALID)))
+    def test_invalid_formulas(self, index):
+        phi = self.INVALID[index]()
+        result = check_validity(phi)
+        assert result.valid is False
+
+    def test_counterexample_on_invalid(self):
+        phi = bvar("p")
+        result = check_validity(phi)
+        assert result.counterexample is not None
+        assert result.counterexample.get("p") is False
+
+
+class TestStats:
+    def test_stats_counts_eij(self):
+        x, y = tvar("x"), tvar("y")
+        phi = implies(not_(eq(x, y)), not_(eq(uf("f", [x]), uf("f", [y]))))
+        encoded = encode_validity(phi)
+        # x=y appears negatively -> x, y general; f is general too.
+        assert encoded.stats.eij_primary >= 1
+        assert encoded.stats.total_primary == (
+            encoded.stats.eij_primary + encoded.stats.other_primary
+        )
+
+    def test_positive_only_formula_has_no_eij(self):
+        phi = eq(uf("alu", [tvar("a")]), uf("alu", [tvar("b")]))
+        encoded = encode_validity(phi)
+        assert encoded.stats.eij_primary == 0
+
+    def test_conservative_mode_has_no_eij_for_inorder_shape(self):
+        m, a, d, b = tvar("RF"), tvar("a"), tvar("d"), tvar("b")
+        # Both sides do the identical in-order sequence.
+        lhs = read(write(m, a, d), b)
+        phi = eq(lhs, lhs)
+        assert phi is TRUE
+        phi2 = eq(read(write(m, a, d), b), read(write(m, a, tvar("d2")), b))
+        encoded = encode_validity(phi2, memory_mode="conservative")
+        assert encoded.stats.eij_primary == 0
+
+
+def _oracle_formulas(depth=2):
+    """Memory-free random formulas for oracle agreement."""
+    term_names = ["x", "y", "z"]
+    bool_names = ["p", "q"]
+
+    @st.composite
+    def term(draw, d):
+        if d == 0:
+            return tvar(draw(st.sampled_from(term_names)))
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return tvar(draw(st.sampled_from(term_names)))
+        if choice == 1:
+            return uf("f", [draw(term(d - 1))])
+        return ite_term(draw(formula(d - 1)), draw(term(d - 1)), draw(term(d - 1)))
+
+    @st.composite
+    def formula(draw, d=depth):
+        if d == 0:
+            choice = draw(st.integers(0, 1))
+            if choice == 0:
+                return bvar(draw(st.sampled_from(bool_names)))
+            return eq(draw(term(0)), draw(term(0)))
+        choice = draw(st.integers(0, 4))
+        if choice == 0:
+            return eq(draw(term(d - 1)), draw(term(d - 1)))
+        if choice == 1:
+            return not_(draw(formula(d - 1)))
+        if choice == 2:
+            return and_(draw(formula(d - 1)), draw(formula(d - 1)))
+        if choice == 3:
+            return or_(draw(formula(d - 1)), draw(formula(d - 1)))
+        return up("pr", [draw(term(d - 1))])
+
+    return formula()
+
+
+class TestOracleAgreement:
+    @settings(max_examples=120, deadline=None)
+    @given(_oracle_formulas())
+    def test_pipeline_agrees_with_decision_procedure(self, phi):
+        expected = is_valid(phi)
+        result = check_validity(phi)
+        assert result.valid is expected, (
+            f"pipeline={result.valid} oracle={expected} for {phi!r}"
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(_oracle_formulas(depth=3))
+    def test_pipeline_agrees_on_deeper_formulas(self, phi):
+        expected = is_valid(phi)
+        result = check_validity(phi)
+        assert result.valid is expected

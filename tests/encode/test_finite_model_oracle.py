@@ -1,0 +1,208 @@
+"""Brute-force finite-model cross-check of the full encoding pipeline.
+
+EUFM validity over a tiny vocabulary can be decided by enumerating every
+interpretation over a small domain: term-variable assignments, Boolean
+assignments, complete function tables for each UF/UP symbol, and complete
+contents for each base memory.  This oracle covers the *memory* axioms,
+which the congruence-closure reference procedure cannot.
+
+Refutation soundness of the enumeration: an EUFM formula over ``v``
+distinct leaf generators is valid iff it is valid over domains of size up
+to the number of distinguishable values; for the tiny formulas used here a
+domain of 2–3 elements is exhaustive enough to catch every disagreement in
+practice, and every verdict pair is asserted equal in *both* directions —
+a pipeline bug in either direction shows up as a mismatch.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.encode import check_validity
+from repro.eufm import (
+    FALSE,
+    TRUE,
+    and_,
+    bvar,
+    eq,
+    implies,
+    ite_term,
+    not_,
+    or_,
+    read,
+    tvar,
+    uf,
+    write,
+)
+from repro.eufm.ast import (
+    BoolConst,
+    BoolVar,
+    Eq,
+    Read,
+    TermITE,
+    TermVar,
+    UFApp,
+    UPApp,
+    Write,
+)
+from repro.eufm.evaluator import infer_memory_sorts
+from repro.eufm.traversal import iter_dag
+
+
+def brute_force_valid(phi, domain_size=2):
+    """Exhaustively decide validity over a finite domain."""
+    memory_sorted = infer_memory_sorts(phi)
+    term_vars, bool_vars, uf_syms, up_syms, mem_vars = [], [], {}, {}, []
+    for node in iter_dag(phi):
+        if isinstance(node, TermVar):
+            if node in memory_sorted:
+                mem_vars.append(node)
+            else:
+                term_vars.append(node)
+        elif isinstance(node, BoolVar):
+            bool_vars.append(node)
+        elif isinstance(node, UFApp):
+            uf_syms[node.symbol] = len(node.args)
+        elif isinstance(node, UPApp):
+            up_syms[node.symbol] = len(node.args)
+
+    domain = range(domain_size)
+    arg_space = {
+        arity: list(product(domain, repeat=arity))
+        for arity in set(uf_syms.values()) | set(up_syms.values())
+    }
+
+    def all_tables(symbols, codomain):
+        names = sorted(symbols)
+        spaces = [
+            list(product(codomain, repeat=len(arg_space[symbols[name]])))
+            for name in names
+        ]
+        for combo in product(*spaces):
+            yield {
+                name: dict(zip(arg_space[symbols[name]], values))
+                for name, values in zip(names, combo)
+            }
+
+    mem_space = list(product(domain, repeat=domain_size))
+
+    for term_values in product(domain, repeat=len(term_vars)):
+        term_env = dict(zip(term_vars, term_values))
+        for bool_values in product([False, True], repeat=len(bool_vars)):
+            bool_env = dict(zip(bool_vars, bool_values))
+            for uf_tables in all_tables(uf_syms, domain):
+                for up_tables in all_tables(up_syms, [False, True]):
+                    for mem_values in product(mem_space, repeat=len(mem_vars)):
+                        mem_env = {
+                            var: tuple(contents)
+                            for var, contents in zip(mem_vars, mem_values)
+                        }
+                        value = _eval(
+                            phi, term_env, bool_env, uf_tables, up_tables,
+                            mem_env,
+                        )
+                        if not value:
+                            return False
+    return True
+
+
+def _eval(phi, term_env, bool_env, uf_tables, up_tables, mem_env):
+    values = {}
+    for node in iter_dag(phi):
+        if isinstance(node, BoolConst):
+            values[node] = node.value
+        elif isinstance(node, TermVar):
+            values[node] = mem_env.get(node, term_env.get(node))
+        elif isinstance(node, BoolVar):
+            values[node] = bool_env[node]
+        elif isinstance(node, UFApp):
+            values[node] = uf_tables[node.symbol][
+                tuple(values[a] for a in node.args)
+            ]
+        elif isinstance(node, UPApp):
+            values[node] = up_tables[node.symbol][
+                tuple(values[a] for a in node.args)
+            ]
+        elif isinstance(node, TermITE):
+            values[node] = (
+                values[node.then] if values[node.cond] else values[node.els]
+            )
+        elif isinstance(node, Read):
+            values[node] = values[node.mem][values[node.addr]]
+        elif isinstance(node, Write):
+            contents = list(values[node.mem])
+            contents[values[node.addr]] = values[node.data]
+            values[node] = tuple(contents)
+        elif isinstance(node, Eq):
+            values[node] = values[node.lhs] == values[node.rhs]
+        elif node.kind == "not":
+            values[node] = not values[node.arg]
+        elif node.kind == "and":
+            values[node] = all(values[a] for a in node.args)
+        elif node.kind == "or":
+            values[node] = any(values[a] for a in node.args)
+        elif node.kind == "fite":
+            values[node] = (
+                values[node.then] if values[node.cond] else values[node.els]
+            )
+        else:  # pragma: no cover
+            raise TypeError(node.kind)
+    return values[phi]
+
+
+def _m():
+    return tvar("M")
+
+
+CASES = [
+    # Memory axioms.
+    implies(eq(tvar("a"), tvar("b")),
+            eq(read(write(_m(), tvar("a"), tvar("d")), tvar("b")), tvar("d"))),
+    implies(not_(eq(tvar("a"), tvar("b"))),
+            eq(read(write(_m(), tvar("a"), tvar("d")), tvar("b")),
+               read(_m(), tvar("b")))),
+    eq(write(_m(), tvar("a"), read(_m(), tvar("a"))), _m()),
+    eq(write(_m(), tvar("a"), tvar("d")), _m()),
+    eq(read(write(_m(), tvar("a"), tvar("d")), tvar("b")), tvar("d")),
+    # Guarded-update shapes from the correctness formulas.
+    implies(
+        bvar("c"),
+        eq(
+            read(
+                ite_term(bvar("c"), write(_m(), tvar("a"), tvar("d")), _m()),
+                tvar("a"),
+            ),
+            tvar("d"),
+        ),
+    ),
+    eq(
+        ite_term(bvar("c"), write(_m(), tvar("a"), tvar("d")), _m()),
+        ite_term(bvar("c"), write(_m(), tvar("a"), tvar("d")), _m()),
+    ),
+    # Mixed UF + memory.
+    implies(
+        eq(tvar("x"), read(_m(), tvar("a"))),
+        eq(uf("f", [tvar("x")]), uf("f", [read(_m(), tvar("a"))])),
+    ),
+    or_(eq(read(_m(), tvar("a")), tvar("x")), bvar("p")),
+    # Two memories.
+    eq(write(tvar("M1"), tvar("a"), tvar("d")),
+       write(tvar("M2"), tvar("a"), tvar("d"))),
+]
+
+
+class TestFiniteModelOracle:
+    @pytest.mark.parametrize("index", range(len(CASES)))
+    def test_pipeline_agrees_with_enumeration(self, index):
+        phi = CASES[index]
+        expected = brute_force_valid(phi, domain_size=2)
+        got = check_validity(phi).valid
+        assert got == expected, (
+            f"pipeline={got}, enumeration={expected} for case {index}"
+        )
+
+    def test_oracle_itself_sane(self):
+        assert brute_force_valid(TRUE)
+        assert not brute_force_valid(FALSE)
+        assert brute_force_valid(eq(tvar("x"), tvar("x")))
+        assert not brute_force_valid(eq(tvar("x"), tvar("y")))

@@ -1,0 +1,181 @@
+"""Tests for the concrete EUFM evaluator (the semantic ground truth)."""
+
+import pytest
+
+from repro.eufm import (
+    FALSE,
+    TRUE,
+    Interpretation,
+    MemVal,
+    SortError,
+    and_,
+    bvar,
+    eq,
+    evaluate,
+    ite_formula,
+    ite_term,
+    not_,
+    or_,
+    read,
+    tvar,
+    uf,
+    up,
+    write,
+)
+from repro.eufm.evaluator import infer_memory_sorts
+
+
+@pytest.fixture
+def interp():
+    return Interpretation(domain_size=4, seed=7)
+
+
+class TestBasicEvaluation:
+    def test_constants(self, interp):
+        assert evaluate(TRUE, interp) is True
+        assert evaluate(FALSE, interp) is False
+
+    def test_term_var_in_domain(self, interp):
+        value = evaluate(tvar("x"), interp)
+        assert 0 <= value < 4
+
+    def test_term_var_deterministic(self, interp):
+        assert evaluate(tvar("x"), interp) == evaluate(tvar("x"), interp)
+
+    def test_explicit_assignment(self):
+        interp = Interpretation(term_values={"x": 3}, bool_values={"p": True})
+        assert evaluate(tvar("x"), interp) == 3
+        assert evaluate(bvar("p"), interp) is True
+
+    def test_connectives(self):
+        interp = Interpretation(bool_values={"p": True, "q": False})
+        p, q = bvar("p"), bvar("q")
+        assert evaluate(and_(p, q), interp) is False
+        assert evaluate(or_(p, q), interp) is True
+        assert evaluate(not_(q), interp) is True
+
+    def test_formula_ite(self):
+        interp = Interpretation(bool_values={"p": False, "q": True, "r": False})
+        node = ite_formula(bvar("p"), bvar("q"), bvar("r"))
+        assert evaluate(node, interp) is False
+
+    def test_term_ite(self):
+        interp = Interpretation(term_values={"x": 1, "y": 2}, bool_values={"p": True})
+        node = ite_term(bvar("p"), tvar("x"), tvar("y"))
+        assert evaluate(node, interp) == 1
+
+    def test_equation(self):
+        interp = Interpretation(term_values={"x": 2, "y": 2, "z": 3})
+        assert evaluate(eq(tvar("x"), tvar("y")), interp) is True
+        assert evaluate(eq(tvar("x"), tvar("z")), interp) is False
+
+
+class TestUninterpretedFunctions:
+    def test_functional_consistency(self, interp):
+        a = uf("f", [tvar("x")])
+        b = uf("f", [tvar("x")])
+        assert evaluate(a, interp) == evaluate(b, interp)
+
+    def test_equal_args_equal_results(self):
+        interp = Interpretation(term_values={"x": 1, "y": 1})
+        fx = uf("f", [tvar("x")])
+        fy = uf("f", [tvar("y")])
+        assert evaluate(eq(fx, fy), interp) is True
+
+    def test_predicate_consistency(self, interp):
+        assert evaluate(up("p", [tvar("x")]), interp) == evaluate(
+            up("p", [tvar("x")]), interp
+        )
+
+    def test_nested_applications(self, interp):
+        node = uf("f", [uf("g", [tvar("x")]), tvar("y")])
+        assert 0 <= evaluate(node, interp) < interp.domain_size
+
+
+class TestMemorySemantics:
+    def test_read_after_write_same_address(self):
+        interp = Interpretation(term_values={"a": 1, "b": 1, "d": 3})
+        m = tvar("RF")
+        node = read(write(m, tvar("a"), tvar("d")), tvar("b"))
+        assert evaluate(node, interp) == 3
+
+    def test_read_after_write_different_address(self):
+        interp = Interpretation(term_values={"a": 1, "b": 2, "d": 3})
+        m = tvar("RF")
+        chained = read(write(m, tvar("a"), tvar("d")), tvar("b"))
+        direct = read(m, tvar("b"))
+        assert evaluate(chained, interp) == evaluate(direct, interp)
+
+    def test_last_write_wins(self):
+        interp = Interpretation(term_values={"a": 1, "d1": 2, "d2": 3})
+        m = tvar("RF")
+        a = tvar("a")
+        node = read(write(write(m, a, tvar("d1")), a, tvar("d2")), a)
+        assert evaluate(node, interp) == 3
+
+    def test_memory_extensional_equality(self):
+        interp = Interpretation(term_values={"a": 1, "d": 3})
+        m = tvar("RF")
+        a, d = tvar("a"), tvar("d")
+        # Writing the same value twice leaves the memory equal to writing once.
+        once = write(m, a, d)
+        twice = write(write(m, a, d), a, d)
+        assert evaluate(eq(once, twice), interp) is True
+
+    def test_write_of_default_restores_initial_state(self):
+        interp = Interpretation(term_values={"a": 1})
+        m = tvar("RF")
+        a = tvar("a")
+        initial_data = evaluate(read(m, a), interp)
+        interp.set_term("d", initial_data)
+        assert evaluate(eq(write(m, a, tvar("d")), m), interp) is True
+
+    def test_distinct_memories_differ_generically(self, interp):
+        assert isinstance(evaluate(write(tvar("M1"), tvar("a"), tvar("d")), interp), MemVal)
+
+    def test_sort_inference_marks_chain(self):
+        m = tvar("RF")
+        node = read(write(m, tvar("a"), tvar("d")), tvar("b"))
+        memory = infer_memory_sorts(node)
+        assert m in memory
+        assert node.mem in memory
+
+    def test_ite_of_memories(self):
+        interp = Interpretation(
+            term_values={"a": 1, "d": 3, "b": 1}, bool_values={"p": True}
+        )
+        m = tvar("RF")
+        selected = ite_term(bvar("p"), write(m, tvar("a"), tvar("d")), m)
+        assert evaluate(read(selected, tvar("b")), interp) == 3
+
+    def test_read_of_plain_value_rejected(self):
+        interp = Interpretation()
+        x = tvar("plain")
+        # Force x to be treated as a value first via an equation, then as
+        # memory: evaluation sees it as memory-sorted, which is consistent;
+        # instead check a UF result used as memory is rejected.
+        node = read(uf("f", [x]), tvar("a"))
+        with pytest.raises(SortError):
+            evaluate(node, interp)
+
+
+class TestValidityByEnumeration:
+    def test_ite_case_split_identity(self):
+        p = bvar("p")
+        x, y = tvar("x"), tvar("y")
+        node = ite_term(p, x, y)
+        for seed in range(16):
+            interp = Interpretation(domain_size=3, seed=seed)
+            expected = (
+                evaluate(x, interp) if evaluate(p, interp) else evaluate(y, interp)
+            )
+            assert evaluate(node, interp) == expected
+
+    def test_congruence_over_many_interps(self):
+        x, y = tvar("x"), tvar("y")
+        premise = eq(x, y)
+        conclusion = eq(uf("f", [x]), uf("f", [y]))
+        for seed in range(32):
+            interp = Interpretation(domain_size=3, seed=seed)
+            if evaluate(premise, interp):
+                assert evaluate(conclusion, interp)

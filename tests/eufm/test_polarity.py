@@ -1,0 +1,140 @@
+"""Tests for the Positive-Equality polarity classification."""
+
+import pytest
+
+from repro.eufm import (
+    BOTH,
+    NEG,
+    POS,
+    and_,
+    bvar,
+    classify,
+    eq,
+    ite_formula,
+    ite_term,
+    not_,
+    or_,
+    read,
+    tvar,
+    up,
+    uf,
+    write,
+)
+
+
+class TestEquationPolarity:
+    def test_positive_equation_is_not_general(self):
+        phi = eq(tvar("x"), tvar("y"))
+        info = classify(phi)
+        assert not info.general_equations
+        assert not info.g_vars
+
+    def test_negated_equation_is_general(self):
+        phi = not_(eq(tvar("x"), tvar("y")))
+        info = classify(phi)
+        assert len(info.general_equations) == 1
+        assert {v.name for v in info.g_vars} == {"x", "y"}
+
+    def test_equation_under_double_negation_is_positive(self):
+        phi = not_(not_(or_(eq(tvar("x"), tvar("y")), bvar("p"))))
+        info = classify(phi)
+        assert not info.general_equations
+
+    def test_formula_ite_condition_is_general(self):
+        guard = eq(tvar("a"), tvar("b"))
+        phi = ite_formula(guard, bvar("p"), bvar("q"))
+        info = classify(phi)
+        assert guard in info.general_equations
+
+    def test_term_ite_condition_is_general(self):
+        guard = eq(tvar("a"), tvar("b"))
+        phi = eq(ite_term(guard, tvar("x"), tvar("y")), tvar("z"))
+        info = classify(phi)
+        assert guard in info.general_equations
+        assert {v.name for v in info.g_vars} == {"a", "b"}
+
+    def test_implication_antecedent_equation_is_general(self):
+        from repro.eufm import implies
+
+        ante = eq(tvar("a"), tvar("b"))
+        post = eq(tvar("x"), tvar("y"))
+        info = classify(implies(ante, post))
+        assert ante in info.general_equations
+        assert post not in info.general_equations
+
+    def test_same_equation_in_both_polarities_is_general(self):
+        e = eq(tvar("x"), tvar("y"))
+        phi = or_(e, and_(not_(e), bvar("p")))
+        # Builder may simplify; ensure both polarities survive structurally.
+        info = classify(phi)
+        assert e in info.general_equations
+
+
+class TestTermPropagation:
+    def test_ite_branches_of_general_term_are_general(self):
+        branch_var = tvar("bx")
+        term = ite_term(bvar("p"), branch_var, tvar("by"))
+        phi = not_(eq(term, tvar("z")))
+        info = classify(phi)
+        assert branch_var in info.g_vars
+
+    def test_general_uf_symbol_marks_all_applications(self):
+        f1 = uf("f", [tvar("x")])
+        f2 = uf("f", [tvar("y")])
+        phi = and_(not_(eq(f1, tvar("z"))), eq(f2, tvar("w")))
+        info = classify(phi)
+        assert info.is_g_symbol("f")
+        assert f1 in info.g_terms
+        assert f2 in info.g_terms
+
+    def test_arguments_of_general_uf_stay_positive(self):
+        # Argument terms are not classified general merely because the
+        # application result is general (BGV: maximal diversity applies to
+        # argument comparisons of p-classified argument terms).
+        x = tvar("x")
+        phi = not_(eq(uf("f", [x]), tvar("z")))
+        info = classify(phi)
+        assert x not in info.g_vars
+
+    def test_p_symbol_stays_positive(self):
+        phi = eq(uf("alu", [tvar("op"), tvar("a")]), tvar("r"))
+        info = classify(phi)
+        assert not info.is_g_symbol("alu")
+
+    def test_summary_counts(self):
+        phi = not_(eq(tvar("x"), tvar("y")))
+        info = classify(phi)
+        assert info.summary() == {
+            "general_equations": 1,
+            "g_vars": 2,
+            "g_symbols": 0,
+        }
+
+
+class TestMemoryRejection:
+    def test_memory_nodes_rejected(self):
+        m = tvar("m")
+        phi = eq(read(m, tvar("a")), tvar("d"))
+        with pytest.raises(TypeError):
+            classify(phi)
+
+    def test_write_rejected(self):
+        phi = eq(write(tvar("m"), tvar("a"), tvar("d")), tvar("m2"))
+        with pytest.raises(TypeError):
+            classify(phi)
+
+
+class TestProcessorShapedFormula:
+    def test_register_ids_general_data_positive(self):
+        """The canonical shape from the paper: register identifiers are
+        compared in forwarding guards (general), data values only in the
+        final positive equation (positive)."""
+        dest, src = tvar("Dest1"), tvar("Src1")
+        result, data = tvar("Result1"), tvar("rf_data")
+        operand = ite_term(eq(dest, src), result, data)
+        spec = uf("ALU", [tvar("op"), operand])
+        phi = eq(spec, tvar("impl_result"))
+        info = classify(phi)
+        assert {v.name for v in info.g_vars} == {"Dest1", "Src1"}
+        assert not info.is_g_symbol("ALU")
+        assert tvar("Result1") not in info.g_vars

@@ -1,0 +1,149 @@
+"""Tests for DAG traversal, substitution and statistics."""
+
+import pytest
+
+from repro.eufm import (
+    TRUE,
+    and_,
+    bool_variables,
+    bvar,
+    dag_depth,
+    eq,
+    equations,
+    expression_stats,
+    function_symbols,
+    ite_term,
+    iter_dag,
+    memory_nodes,
+    node_count,
+    not_,
+    or_,
+    predicate_symbols,
+    read,
+    substitute,
+    term_variables,
+    tvar,
+    uf,
+    up,
+    write,
+)
+
+
+def _sample_formula():
+    x, y = tvar("x"), tvar("y")
+    p = bvar("p")
+    return and_(or_(p, eq(uf("f", [x]), y)), not_(up("q", [x, y])))
+
+
+class TestIteration:
+    def test_postorder_children_before_parents(self):
+        root = _sample_formula()
+        seen = set()
+        for node in iter_dag(root):
+            for child in node.children:
+                assert child in seen
+            seen.add(node)
+
+    def test_each_node_once(self):
+        root = _sample_formula()
+        nodes = list(iter_dag(root))
+        assert len(nodes) == len(set(nodes))
+
+    def test_shared_subdag_counted_once(self):
+        x = tvar("x")
+        f1 = uf("f", [x])
+        root = eq(uf("g", [f1, f1]), x)
+        nodes = list(iter_dag(root))
+        assert sum(1 for n in nodes if n is f1) == 1
+
+    def test_multiple_roots(self):
+        x, y = tvar("x"), tvar("y")
+        nodes = list(iter_dag(x, y, x))
+        assert set(nodes) == {x, y}
+
+
+class TestCollectors:
+    def test_term_variables(self):
+        root = _sample_formula()
+        names = {v.name for v in term_variables(root)}
+        assert names == {"x", "y"}
+
+    def test_bool_variables(self):
+        root = _sample_formula()
+        assert {v.name for v in bool_variables(root)} == {"p"}
+
+    def test_function_symbols(self):
+        root = _sample_formula()
+        assert function_symbols(root) == ["f"]
+
+    def test_predicate_symbols(self):
+        root = _sample_formula()
+        assert predicate_symbols(root) == ["q"]
+
+    def test_equations(self):
+        root = _sample_formula()
+        assert len(equations(root)) == 1
+
+    def test_memory_nodes(self):
+        m, a, d = tvar("m"), tvar("a"), tvar("d")
+        root = eq(read(write(m, a, d), tvar("b")), d)
+        assert len(memory_nodes(root)) == 2
+
+
+class TestMetrics:
+    def test_node_count_leaf(self):
+        assert node_count(tvar("lonely")) == 1
+
+    def test_depth_leaf(self):
+        assert dag_depth(tvar("lonely")) == 1
+
+    def test_depth_chain(self):
+        node = tvar("base")
+        for i in range(10):
+            node = uf("f", [node])
+        assert dag_depth(node) == 11
+
+    def test_stats_totals(self):
+        root = _sample_formula()
+        stats = expression_stats(root)
+        assert stats["total"] == node_count(root)
+        assert stats["tvar"] == 2
+        assert stats["eq"] == 1
+
+
+class TestSubstitution:
+    def test_simple_var_replacement(self):
+        x, y, z = tvar("x"), tvar("y"), tvar("z")
+        root = eq(uf("f", [x]), y)
+        result = substitute(root, {x: z})
+        assert result is eq(uf("f", [z]), y)
+
+    def test_substitution_is_simultaneous(self):
+        x, y = tvar("x"), tvar("y")
+        root = uf("f", [x, y])
+        result = substitute(root, {x: y, y: x})
+        assert result is uf("f", [y, x])
+
+    def test_substitution_triggers_simplification(self):
+        x, y = tvar("x"), tvar("y")
+        root = eq(x, y)
+        assert substitute(root, {y: x}) is TRUE
+
+    def test_formula_substitution(self):
+        p, q = bvar("p"), bvar("q")
+        root = and_(p, not_(q))
+        assert substitute(root, {q: p}) is and_(p, not_(p))  # = FALSE
+        from repro.eufm import FALSE
+
+        assert substitute(root, {q: p}) is FALSE
+
+    def test_sort_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            substitute(eq(tvar("x"), tvar("y")), {tvar("x"): bvar("p")})
+
+    def test_deep_chain_no_recursion_error(self):
+        node = tvar("base")
+        for _ in range(5000):
+            node = uf("f", [node])
+        replaced = substitute(node, {tvar("base"): tvar("other")})
+        assert node_count(replaced) == node_count(node)

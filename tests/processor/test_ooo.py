@@ -1,0 +1,235 @@
+"""Tests for the abstract out-of-order implementation model."""
+
+import pytest
+
+from repro.eufm import (
+    FALSE,
+    TRUE,
+    Interpretation,
+    bvar,
+    eq,
+    evaluate,
+    read,
+    tvar,
+    uf,
+)
+from repro.processor import (
+    ProcessorConfig,
+    build_ooo_processor,
+    flush_range,
+    make_simulator,
+)
+from repro.processor.isa import NEXT_PC
+
+
+def _build(n=2, k=1, bug=None):
+    proc = build_ooo_processor(ProcessorConfig(n_rob=n, issue_width=k), bug=bug)
+    return proc, make_simulator(proc)
+
+
+class TestConstruction:
+    def test_slot_count(self):
+        proc, _ = _build(n=4, k=2)
+        assert len(proc.valid) == 6
+        assert len(proc.nd_execute) == 4
+        assert len(proc.nd_fetch) == 2
+        assert len(proc.activate) == 6
+
+    def test_initial_state_variables_recorded(self):
+        proc, _ = _build(n=2, k=1)
+        for name in ("Valid1", "ValidResult2", "Dest1", "Src1_2", "Result1", "PC"):
+            assert name in proc.vars
+
+    def test_fetch_slots_start_invalid(self):
+        proc, _ = _build(n=2, k=2)
+        assert proc.initial_state[proc.valid[2]] is FALSE
+        assert proc.initial_state[proc.valid[3]] is FALSE
+
+    def test_circuit_is_acyclic(self):
+        proc, _ = _build(n=3, k=2)
+        assert proc.circuit.combinational_order()
+
+
+class TestRegularOperation:
+    def test_pc_advances_by_fetch_count(self):
+        proc, sim = _build(n=2, k=2)
+        sim.step()
+        pc = sim.peek(proc.pc)
+        # PC_Impl = ITE(fetch_2, NextPC^2(PC), ITE(fetch_1, NextPC(PC), PC)).
+        interp = Interpretation(bool_values={"NDFetch1": True, "NDFetch2": True})
+        two = uf(NEXT_PC, [uf(NEXT_PC, [tvar("PC")])])
+        assert evaluate(eq(pc, two), interp) is True
+        interp = Interpretation(bool_values={"NDFetch1": True, "NDFetch2": False})
+        one = uf(NEXT_PC, [tvar("PC")])
+        assert evaluate(eq(pc, one), interp) is True
+        interp = Interpretation(bool_values={"NDFetch1": False, "NDFetch2": True})
+        assert evaluate(eq(pc, tvar("PC")), interp) is True
+
+    def test_retired_instruction_writes_register_file(self):
+        proc, sim = _build(n=1, k=1)
+        sim.step()
+        rf = sim.peek(proc.rf)
+        probe = tvar("Dest1")
+        value = read(rf, probe)
+        # Valid & ValidResult -> retires, writing Result1 to Dest1.
+        interp = Interpretation(
+            domain_size=4,
+            bool_values={"Valid1": True, "ValidResult1": True, "NDFetch1": False},
+        )
+        assert evaluate(eq(value, tvar("Result1")), interp) is True
+
+    def test_unretired_instruction_does_not_write(self):
+        proc, sim = _build(n=1, k=1)
+        sim.step()
+        rf = sim.peek(proc.rf)
+        value = read(rf, tvar("Dest1"))
+        baseline = read(tvar("RegFile"), tvar("Dest1"))
+        interp = Interpretation(
+            domain_size=4,
+            bool_values={
+                "Valid1": True,
+                "ValidResult1": False,
+                "NDFetch1": False,
+                "NDExecute1": False,
+            },
+        )
+        assert evaluate(eq(value, baseline), interp) is True
+
+    def test_in_order_retirement(self):
+        """Entry 2 cannot retire when entry 1 has no result yet."""
+        proc, sim = _build(n=2, k=2)
+        sim.step()
+        rf = sim.peek(proc.rf)
+        value = read(rf, tvar("Dest2"))
+        baseline = read(tvar("RegFile"), tvar("Dest2"))
+        interp = Interpretation(
+            domain_size=5,
+            bool_values={
+                "Valid1": True,
+                "ValidResult1": False,  # blocks retirement of entry 2
+                "Valid2": True,
+                "ValidResult2": True,
+                "NDFetch1": False,
+                "NDFetch2": False,
+                "NDExecute1": False,
+                "NDExecute2": False,
+            },
+            term_values={"Dest1": 0, "Dest2": 1},
+        )
+        assert evaluate(eq(value, baseline), interp) is True
+
+    def test_execution_forwards_from_producer(self):
+        """Entry 2 executing out of order forwards Result1 when its source
+        matches Dest1 and entry 1 has a result."""
+        proc, sim = _build(n=2, k=1)
+        sim.step()
+        vres2 = sim.peek(proc.vres[1])
+        interp = Interpretation(
+            domain_size=5,
+            bool_values={
+                "Valid1": True,
+                "ValidResult1": True,
+                "Valid2": True,
+                "ValidResult2": False,
+                "NDExecute1": False,
+                "NDExecute2": True,
+                "NDFetch1": False,
+            },
+            term_values={"Dest1": 2, "Src1_2": 2, "Src2_2": 3, "Dest2": 4},
+        )
+        assert evaluate(vres2, interp) is True
+
+    def test_execution_stalls_on_pending_producer(self):
+        proc, sim = _build(n=2, k=1)
+        sim.step()
+        vres2 = sim.peek(proc.vres[1])
+        interp = Interpretation(
+            domain_size=5,
+            bool_values={
+                "Valid1": True,
+                "ValidResult1": False,  # producer has no result yet
+                "Valid2": True,
+                "ValidResult2": False,
+                "NDExecute1": False,
+                "NDExecute2": True,
+                "NDFetch1": False,
+            },
+            term_values={"Dest1": 2, "Src1_2": 2, "Src2_2": 3, "Dest2": 4},
+        )
+        assert evaluate(vres2, interp) is False
+
+    def test_nd_execute_gates_execution(self):
+        proc, sim = _build(n=1, k=1)
+        sim.step()
+        vres1 = sim.peek(proc.vres[0])
+        interp = Interpretation(
+            bool_values={
+                "Valid1": True,
+                "ValidResult1": False,
+                "NDExecute1": False,
+                "NDFetch1": False,
+            },
+        )
+        assert evaluate(vres1, interp) is False
+
+
+class TestFlush:
+    def test_flush_preserves_pc(self):
+        proc, sim = _build(n=2, k=1)
+        sim.step()
+        pc_before = sim.peek(proc.pc)
+        flush_range(sim, proc, 1, proc.total_slots)
+        assert sim.peek(proc.pc) is pc_before
+
+    def test_flush_of_initial_state_completes_all_valid(self):
+        """Flushing the initial state writes every valid instruction's
+        completion data in program order."""
+        proc, sim = _build(n=2, k=1)
+        flush_range(sim, proc, 1, proc.total_slots)
+        rf = sim.peek(proc.rf)
+        value = read(rf, tvar("Dest2"))
+        interp = Interpretation(
+            domain_size=5,
+            bool_values={
+                "Valid1": False,
+                "Valid2": True,
+                "ValidResult2": True,
+            },
+        )
+        assert evaluate(eq(value, tvar("Result2")), interp) is True
+
+    def test_program_order_of_completions(self):
+        """When two valid entries share a destination, the later one wins."""
+        proc, sim = _build(n=2, k=1)
+        flush_range(sim, proc, 1, proc.total_slots)
+        rf = sim.peek(proc.rf)
+        value = read(rf, tvar("Dest1"))
+        interp = Interpretation(
+            domain_size=5,
+            bool_values={
+                "Valid1": True,
+                "ValidResult1": True,
+                "Valid2": True,
+                "ValidResult2": True,
+            },
+            term_values={"Dest1": 2, "Dest2": 2},
+        )
+        assert evaluate(eq(value, tvar("Result2")), interp) is True
+
+    def test_invalid_entries_do_not_write(self):
+        proc, sim = _build(n=1, k=1)
+        flush_range(sim, proc, 1, proc.total_slots)
+        rf = sim.peek(proc.rf)
+        interp = Interpretation(bool_values={"Valid1": False})
+        probe = tvar("anywhere")
+        assert (
+            evaluate(eq(read(rf, probe), read(tvar("RegFile"), probe)), interp)
+            is True
+        )
+
+    def test_flush_range_validates_bounds(self):
+        proc, sim = _build(n=2, k=1)
+        with pytest.raises(ValueError):
+            flush_range(sim, proc, 0, 1)
+        with pytest.raises(ValueError):
+            flush_range(sim, proc, 1, 99)

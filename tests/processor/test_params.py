@@ -1,0 +1,44 @@
+"""Tests for processor configuration validation."""
+
+import pytest
+
+from repro.processor import ProcessorConfig
+
+
+class TestProcessorConfig:
+    def test_defaults_retire_to_issue_width(self):
+        config = ProcessorConfig(n_rob=8, issue_width=2)
+        assert config.retire_width == 2
+
+    def test_explicit_retire_width(self):
+        config = ProcessorConfig(n_rob=8, issue_width=2, retire_width=1)
+        assert config.retire_width == 1
+
+    def test_total_slots(self):
+        config = ProcessorConfig(n_rob=8, issue_width=2)
+        assert config.total_slots == 10
+
+    def test_width_cannot_exceed_size(self):
+        # The dash entries of Tables 1-4.
+        with pytest.raises(ValueError):
+            ProcessorConfig(n_rob=2, issue_width=4)
+
+    def test_positive_sizes_required(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(n_rob=0, issue_width=1)
+        with pytest.raises(ValueError):
+            ProcessorConfig(n_rob=4, issue_width=0)
+
+    def test_retire_width_validated(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(n_rob=4, issue_width=2, retire_width=8)
+
+    def test_describe(self):
+        text = ProcessorConfig(n_rob=16, issue_width=4).describe()
+        assert "16-entry" in text
+        assert "issue width 4" in text
+
+    def test_frozen(self):
+        config = ProcessorConfig(n_rob=4, issue_width=2)
+        with pytest.raises(Exception):
+            config.n_rob = 8

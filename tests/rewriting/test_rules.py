@@ -1,0 +1,208 @@
+"""Unit tests for the structural rewriting rules."""
+
+import pytest
+
+from repro.eufm import (
+    FALSE,
+    TRUE,
+    and_,
+    bvar,
+    eq,
+    ite_formula,
+    ite_term,
+    not_,
+    or_,
+    tvar,
+    uf,
+)
+from repro.rewriting import (
+    RuleViolation,
+    conjuncts,
+    contexts_disjoint,
+    merge_contexts,
+    prove_forwarding_matches_read,
+    reduce_under,
+    split_on_guard,
+)
+from repro.rewriting.rules import substitute_opaque
+
+
+class TestConjuncts:
+    def test_true_is_empty(self):
+        assert conjuncts(TRUE) == frozenset()
+
+    def test_atom_is_singleton(self):
+        p = bvar("p")
+        assert conjuncts(p) == frozenset((p,))
+
+    def test_conjunction_flattens(self):
+        p, q, r = bvar("p"), bvar("q"), bvar("r")
+        assert conjuncts(and_(p, and_(q, r))) == frozenset((p, q, r))
+
+
+class TestContextsDisjoint:
+    def test_direct_complement(self):
+        p, q = bvar("p"), bvar("q")
+        assert contexts_disjoint(and_(p, q), and_(p, not_(q)))
+
+    def test_retirement_shape(self):
+        """Valid_i & NOT retire_i vs Valid_j & retire_j where retire_j's
+        conjuncts include retire_i's — the in-order-retirement shape."""
+        or1, or2 = bvar("or1"), bvar("or2")
+        retire_1 = or1
+        retire_2 = and_(or1, or2)
+        v1, v2 = bvar("Valid1"), bvar("Valid2")
+        ctx_flush_1 = and_(v1, not_(retire_1))
+        ctx_retire_2 = and_(v2, retire_2)
+        assert contexts_disjoint(ctx_flush_1, ctx_retire_2)
+        assert contexts_disjoint(ctx_retire_2, ctx_flush_1)
+
+    def test_overlapping_contexts(self):
+        p, q = bvar("p"), bvar("q")
+        assert not contexts_disjoint(p, q)
+
+    def test_same_context_not_disjoint(self):
+        p = bvar("p")
+        assert not contexts_disjoint(p, p)
+
+
+class TestMergeContexts:
+    def test_paper_shape(self):
+        valid = bvar("Valid1")
+        retire = bvar("retire1")
+        merged = merge_contexts(and_(valid, retire), and_(valid, not_(retire)))
+        assert merged is not None
+        context, residual = merged
+        assert context is valid
+        assert residual is retire
+
+    def test_compound_residual(self):
+        valid = bvar("Valid2")
+        or1, or2 = bvar("or1"), bvar("or2")
+        retire = and_(or1, or2)
+        merged = merge_contexts(and_(valid, retire), and_(valid, not_(retire)))
+        assert merged is not None
+        context, residual = merged
+        assert context is valid
+        assert residual is retire
+
+    def test_non_complementary_rejected(self):
+        p, q, r = bvar("p"), bvar("q"), bvar("r")
+        assert merge_contexts(and_(p, q), and_(p, r)) is None
+
+    def test_mismatched_common_part_rejected(self):
+        p, q, r = bvar("p"), bvar("q"), bvar("r")
+        assert merge_contexts(and_(p, q), and_(r, not_(q))) is None
+
+
+class TestReduceUnder:
+    def test_variable_replacement(self):
+        p = bvar("p")
+        x, y = tvar("x"), tvar("y")
+        node = ite_term(p, x, y)
+        assert reduce_under(node, {p: TRUE}) is x
+        assert reduce_under(node, {p: FALSE}) is y
+
+    def test_nested_folding(self):
+        p, q = bvar("p"), bvar("q")
+        x, y, z = tvar("x"), tvar("y"), tvar("z")
+        node = ite_term(p, ite_term(q, x, y), z)
+        assert reduce_under(node, {p: TRUE, q: FALSE}) is y
+
+    def test_stop_nodes_are_opaque(self):
+        p = bvar("p")
+        frozen = ite_term(p, tvar("x"), tvar("y"))
+        node = uf("f", [frozen])
+        reduced = reduce_under(node, {p: TRUE}, stop_nodes={frozen})
+        assert reduced is node  # untouched because the ITE is opaque
+
+    def test_non_constant_assumption_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_under(bvar("p"), {bvar("p"): bvar("q")})
+
+
+class TestSubstituteOpaque:
+    def test_replaces_without_descending(self):
+        deep = uf("f", [uf("f", [tvar("x")])])
+        replacement = tvar("fresh")
+        node = uf("g", [deep, tvar("y")])
+        out = substitute_opaque(node, {deep: replacement})
+        assert out is uf("g", [replacement, tvar("y")])
+
+    def test_root_replacement(self):
+        x = tvar("x")
+        assert substitute_opaque(x, {x: tvar("y")}) is tvar("y")
+
+
+class TestSplitOnGuard:
+    def test_plain_ite(self):
+        g, t, e = bvar("g"), bvar("t"), bvar("e")
+        node = ite_formula(g, t, e)
+        assert split_on_guard(node, g) == (t, e)
+
+    def test_or_with_negated_guard(self):
+        g, t = bvar("g"), bvar("t")
+        node = or_(not_(g), t)  # ITE(g, t, TRUE)
+        assert split_on_guard(node, g) == (t, TRUE)
+
+    def test_or_with_guard(self):
+        g, e = bvar("g"), bvar("e")
+        node = or_(g, e)  # ITE(g, TRUE, e)
+        assert split_on_guard(node, g) == (TRUE, e)
+
+    def test_and_with_guard(self):
+        g, t = bvar("g"), bvar("t")
+        node = and_(g, t)  # ITE(g, t, FALSE)
+        assert split_on_guard(node, g) == (t, FALSE)
+
+    def test_no_match(self):
+        assert split_on_guard(bvar("p"), bvar("g")) is None
+
+
+class TestForwardingWalk:
+    def _chains(self, producers):
+        """Build matched forwarding / spec-read / availability chains."""
+        src = tvar("SrcX")
+        rf_read = uf("read0", [src])
+        fwd, spec, avail = rf_read, rf_read, TRUE
+        for j, _ in enumerate(producers, start=1):
+            valid = bvar(f"V{j}")
+            vres = bvar(f"VR{j}")
+            dest = tvar(f"D{j}")
+            result = tvar(f"R{j}")
+            spec_data = ite_term(vres, result, tvar(f"Computed{j}"))
+            match = and_(valid, eq(dest, src))
+            fwd = ite_term(match, result, fwd)
+            spec = ite_term(match, spec_data, spec)
+            avail = ite_formula(match, vres, avail)
+        return fwd, spec, avail
+
+    def test_single_producer(self):
+        fwd, spec, avail = self._chains([1])
+        prove_forwarding_matches_read(fwd, spec, avail)
+
+    def test_three_producers(self):
+        fwd, spec, avail = self._chains([1, 2, 3])
+        prove_forwarding_matches_read(fwd, spec, avail)
+
+    def test_empty_chain(self):
+        fwd, spec, avail = self._chains([])
+        prove_forwarding_matches_read(fwd, spec, avail)
+
+    def test_wrong_guard_rejected(self):
+        fwd, spec, avail = self._chains([1, 2])
+        # Tamper: change the outermost guard of the forwarding chain.
+        bad = ite_term(bvar("other_guard"), fwd.then, fwd.els)
+        with pytest.raises(RuleViolation):
+            prove_forwarding_matches_read(bad, spec, avail)
+
+    def test_wrong_result_rejected(self):
+        fwd, spec, avail = self._chains([1, 2])
+        bad = ite_term(fwd.cond, tvar("WrongResult"), fwd.els)
+        with pytest.raises(RuleViolation):
+            prove_forwarding_matches_read(bad, spec, avail)
+
+    def test_wrong_availability_rejected(self):
+        fwd, spec, avail = self._chains([1])
+        with pytest.raises(RuleViolation):
+            prove_forwarding_matches_read(fwd, spec, bvar("unrelated"))

@@ -1,0 +1,68 @@
+"""Unit tests for update-chain decomposition with intermediate states."""
+
+import pytest
+
+from repro.eufm import TRUE, bvar, ite_term, not_, tvar, write
+from repro.rewriting import decompose_chain
+
+
+class TestDecomposeChain:
+    def test_bare_variable(self):
+        chain = decompose_chain(tvar("RF"))
+        assert chain.base is tvar("RF")
+        assert chain.items == []
+        assert chain.final_state is tvar("RF")
+
+    def test_unconditional_write(self):
+        mem = write(tvar("RF"), tvar("a"), tvar("d"))
+        chain = decompose_chain(mem)
+        assert len(chain.items) == 1
+        item = chain.items[0]
+        assert item.context is TRUE
+        assert item.addr is tvar("a")
+        assert item.data is tvar("d")
+        assert item.prev_state is tvar("RF")
+        assert item.post_state is mem
+
+    def test_guarded_write(self):
+        base = tvar("RF")
+        mem = ite_term(bvar("c"), write(base, tvar("a"), tvar("d")), base)
+        chain = decompose_chain(mem)
+        assert len(chain.items) == 1
+        assert chain.items[0].context is bvar("c")
+
+    def test_negated_guard_form(self):
+        base = tvar("RF")
+        mem = ite_term(bvar("c"), base, write(base, tvar("a"), tvar("d")))
+        chain = decompose_chain(mem)
+        assert chain.items[0].context is not_(bvar("c"))
+
+    def test_stacked_updates_oldest_first(self):
+        base = tvar("RF")
+        first = ite_term(bvar("c1"), write(base, tvar("a1"), tvar("d1")), base)
+        second = ite_term(bvar("c2"), write(first, tvar("a2"), tvar("d2")), first)
+        chain = decompose_chain(second)
+        assert [item.addr for item in chain.items] == [tvar("a1"), tvar("a2")]
+        assert chain.items[0].post_state is first
+        assert chain.items[1].prev_state is first
+        assert chain.state_after(1) is first
+        assert chain.state_after(2) is second
+        assert chain.state_after(0) is base
+
+    def test_non_chain_rejected(self):
+        mem = ite_term(
+            bvar("c"),
+            write(tvar("M1"), tvar("a"), tvar("d")),
+            write(tvar("M2"), tvar("a"), tvar("d")),
+        )
+        with pytest.raises(ValueError):
+            decompose_chain(mem)
+
+    def test_mixed_guarded_and_plain(self):
+        base = tvar("RF")
+        plain = write(base, tvar("a1"), tvar("d1"))
+        guarded = ite_term(bvar("c"), write(plain, tvar("a2"), tvar("d2")), plain)
+        chain = decompose_chain(guarded)
+        assert len(chain.items) == 2
+        assert chain.items[0].context is TRUE
+        assert chain.items[1].context is bvar("c")

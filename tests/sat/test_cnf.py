@@ -1,0 +1,86 @@
+"""Tests for the CNF database and DIMACS round-trip."""
+
+import pytest
+
+from repro.sat import Cnf, parse_dimacs, to_dimacs
+
+
+class TestCnf:
+    def test_new_var_sequence(self):
+        cnf = Cnf()
+        assert cnf.new_var() == 1
+        assert cnf.new_var("named") == 2
+        assert cnf.names[2] == "named"
+
+    def test_add_clause(self):
+        cnf = Cnf(num_vars=3)
+        cnf.add_clause([1, -2, 3])
+        assert cnf.clauses == [(1, -2, 3)]
+
+    def test_tautology_dropped(self):
+        cnf = Cnf(num_vars=2)
+        cnf.add_clause([1, -1, 2])
+        assert cnf.num_clauses == 0
+
+    def test_duplicate_literals_merged(self):
+        cnf = Cnf(num_vars=2)
+        cnf.add_clause([1, 1, 2])
+        assert cnf.clauses == [(1, 2)]
+
+    def test_zero_literal_rejected(self):
+        cnf = Cnf(num_vars=1)
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_unallocated_variable_rejected(self):
+        cnf = Cnf(num_vars=1)
+        with pytest.raises(ValueError):
+            cnf.add_clause([2])
+
+    def test_stats(self):
+        cnf = Cnf(num_vars=3)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-3])
+        assert cnf.stats() == {"vars": 3, "clauses": 2, "literals": 3}
+
+    def test_check_assignment(self):
+        cnf = Cnf(num_vars=2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1])
+        assert cnf.check_assignment({1: False, 2: True})
+        assert not cnf.check_assignment({1: True, 2: True})
+        assert not cnf.check_assignment({1: False, 2: False})
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        cnf = Cnf(num_vars=3)
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2, 3])
+        parsed = parse_dimacs(to_dimacs(cnf))
+        assert parsed.num_vars == 3
+        assert parsed.clauses == cnf.clauses
+
+    def test_comments_ignored(self):
+        text = "c hello\np cnf 2 1\n1 -2 0\n"
+        cnf = parse_dimacs(text)
+        assert cnf.clauses == [(1, -2)]
+
+    def test_multi_line_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        cnf = parse_dimacs(text)
+        assert cnf.clauses == [(1, 2, 3)]
+
+    def test_missing_problem_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("1 2 0\n")
+
+    def test_malformed_problem_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p dnf 2 1\n1 0\n")
+
+    def test_names_emitted_as_comments(self):
+        cnf = Cnf()
+        cnf.new_var("e_12")
+        text = to_dimacs(cnf)
+        assert "c var 1 = e_12" in text

@@ -1,0 +1,77 @@
+"""Tests for the Plaisted–Greenbaum polarity-aware CNF encoding."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.eufm import (
+    Interpretation,
+    and_,
+    bvar,
+    evaluate,
+    ite_formula,
+    not_,
+    or_,
+)
+from repro.sat import cnf_for_satisfiability, solve_cnf
+
+
+def _formulas(depth=3):
+    names = ["p", "q", "r", "s"]
+
+    @st.composite
+    def strat(draw, d=depth):
+        if d == 0:
+            return bvar(draw(st.sampled_from(names)))
+        choice = draw(st.integers(0, 4))
+        if choice == 0:
+            return bvar(draw(st.sampled_from(names)))
+        if choice == 1:
+            return not_(draw(strat(d - 1)))
+        if choice == 2:
+            return and_(draw(strat(d - 1)), draw(strat(d - 1)))
+        if choice == 3:
+            return or_(draw(strat(d - 1)), draw(strat(d - 1)))
+        return ite_formula(draw(strat(d - 1)), draw(strat(d - 1)), draw(strat(d - 1)))
+
+    return strat()
+
+
+class TestPolarityEncoding:
+    @settings(max_examples=150, deadline=None)
+    @given(_formulas())
+    def test_equisatisfiable_with_full_encoding(self, phi):
+        full = cnf_for_satisfiability(phi, polarity_aware=False)
+        pg = cnf_for_satisfiability(phi, polarity_aware=True)
+        if full.root_literal is None:
+            assert pg.root_literal is None
+            return
+        assert solve_cnf(full.cnf).is_sat == solve_cnf(pg.cnf).is_sat
+
+    @settings(max_examples=80, deadline=None)
+    @given(_formulas())
+    def test_pg_model_satisfies_formula(self, phi):
+        pg = cnf_for_satisfiability(phi, polarity_aware=True)
+        if pg.root_literal is None:
+            return
+        outcome = solve_cnf(pg.cnf)
+        if outcome.is_sat:
+            bool_values = {
+                var.name: outcome.model[index]
+                for var, index in pg.var_map.items()
+            }
+            interp = Interpretation(bool_values=bool_values)
+            assert evaluate(phi, interp) is True
+
+    @settings(max_examples=80, deadline=None)
+    @given(_formulas())
+    def test_pg_never_larger_than_full(self, phi):
+        full = cnf_for_satisfiability(phi, polarity_aware=False)
+        pg = cnf_for_satisfiability(phi, polarity_aware=True)
+        assert pg.cnf.num_clauses <= full.cnf.num_clauses
+
+    def test_pg_actually_smaller_on_one_sided_formula(self):
+        # A purely positive conjunction of disjunctions: every gate is
+        # single-polarity, so PG halves the definition clauses.
+        phi = and_(*[or_(bvar(f"a{i}"), bvar(f"b{i}")) for i in range(8)])
+        full = cnf_for_satisfiability(phi, polarity_aware=False)
+        pg = cnf_for_satisfiability(phi, polarity_aware=True)
+        assert pg.cnf.num_clauses < full.cnf.num_clauses

@@ -1,0 +1,132 @@
+"""Tests for the Tseitin translation: equisatisfiability and model agreement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eufm import (
+    FALSE,
+    TRUE,
+    Interpretation,
+    and_,
+    bvar,
+    evaluate,
+    ite_formula,
+    not_,
+    or_,
+)
+from repro.sat import cnf_for_satisfiability, solve_cnf, tseitin
+
+
+class TestConstants:
+    def test_true_constant(self):
+        result = cnf_for_satisfiability(TRUE)
+        assert result.constant is True
+        assert solve_cnf(result.cnf).is_sat
+
+    def test_false_constant(self):
+        result = cnf_for_satisfiability(FALSE)
+        assert result.constant is False
+        assert solve_cnf(result.cnf).is_unsat
+
+
+class TestStructure:
+    def test_single_variable(self):
+        p = bvar("p")
+        result = cnf_for_satisfiability(p)
+        outcome = solve_cnf(result.cnf)
+        assert outcome.is_sat
+        assert outcome.model[result.var_map[p]] is True
+
+    def test_negated_variable(self):
+        p = bvar("p")
+        result = cnf_for_satisfiability(not_(p))
+        outcome = solve_cnf(result.cnf)
+        assert outcome.is_sat
+        assert outcome.model[result.var_map[p]] is False
+
+    def test_contradiction(self):
+        p, q = bvar("p"), bvar("q")
+        phi = and_(or_(p, q), not_(p), not_(q))
+        assert solve_cnf(cnf_for_satisfiability(phi).cnf).is_unsat
+
+    def test_ite_encoding(self):
+        p, q, r = bvar("p"), bvar("q"), bvar("r")
+        phi = and_(ite_formula(p, q, r), p, not_(q))
+        assert solve_cnf(cnf_for_satisfiability(phi).cnf).is_unsat
+
+    def test_shared_subformula_encoded_once(self):
+        p, q = bvar("p"), bvar("q")
+        shared = and_(p, q)
+        phi = or_(and_(shared, bvar("r")), and_(shared, bvar("s")))
+        result = tseitin(phi)
+        # Variables: p q r s + gates for shared, two outer ands, inner or-def.
+        assert result.cnf.num_vars <= 9
+
+
+def _bool_formulas(depth=3):
+    names = ["p", "q", "r", "s"]
+
+    @st.composite
+    def strat(draw, d=depth):
+        if d == 0:
+            return bvar(draw(st.sampled_from(names)))
+        choice = draw(st.integers(0, 4))
+        if choice == 0:
+            return bvar(draw(st.sampled_from(names)))
+        if choice == 1:
+            return not_(draw(strat(d - 1)))
+        if choice == 2:
+            return and_(draw(strat(d - 1)), draw(strat(d - 1)))
+        if choice == 3:
+            return or_(draw(strat(d - 1)), draw(strat(d - 1)))
+        return ite_formula(draw(strat(d - 1)), draw(strat(d - 1)), draw(strat(d - 1)))
+
+    return strat()
+
+
+class TestEquisatisfiability:
+    @settings(max_examples=120, deadline=None)
+    @given(_bool_formulas(), st.integers(0, 15))
+    def test_sat_agrees_with_direct_evaluation(self, phi, seed):
+        """phi is satisfiable iff some of 2^n assignments satisfies it; we
+        check one direction cheaply: the SAT model, restricted to input
+        variables, must evaluate phi to True."""
+        result = cnf_for_satisfiability(phi)
+        if result.root_literal is None:
+            return
+        outcome = solve_cnf(result.cnf)
+        if outcome.is_sat:
+            bool_values = {
+                var.name: outcome.model[index]
+                for var, index in result.var_map.items()
+            }
+            interp = Interpretation(bool_values=bool_values)
+            assert evaluate(phi, interp) is True
+        else:
+            # Exhaustively confirm unsatisfiability over the input vars.
+            names = [var.name for var in result.var_map]
+            for mask in range(1 << len(names)):
+                assignment = {
+                    name: bool(mask >> bit & 1) for bit, name in enumerate(names)
+                }
+                interp = Interpretation(bool_values=assignment)
+                assert evaluate(phi, interp) is False
+
+    @settings(max_examples=60, deadline=None)
+    @given(_bool_formulas())
+    def test_negation_flips_validity(self, phi):
+        """phi valid (not_(phi) unsat) implies not_(phi) has no model."""
+        neg = cnf_for_satisfiability(not_(phi))
+        pos = cnf_for_satisfiability(phi)
+        neg_sat = (
+            neg.constant
+            if neg.root_literal is None
+            else solve_cnf(neg.cnf).is_sat
+        )
+        pos_sat = (
+            pos.constant
+            if pos.root_literal is None
+            else solve_cnf(pos.cnf).is_sat
+        )
+        # At least one of phi, not phi is satisfiable.
+        assert neg_sat or pos_sat

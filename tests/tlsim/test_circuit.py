@@ -1,0 +1,99 @@
+"""Tests for circuit construction and validation."""
+
+import pytest
+
+from repro.tlsim import (
+    AndGate,
+    Circuit,
+    CircuitError,
+    Fn,
+    Latch,
+    NotGate,
+    Signal,
+    FORMULA,
+)
+
+
+def _sig(name, sort=FORMULA):
+    return Signal(name, sort)
+
+
+class TestConstruction:
+    def test_single_driver_enforced(self):
+        circuit = Circuit()
+        a, b, out = _sig("a"), _sig("b"), _sig("out")
+        circuit.add(AndGate("g1", [a, b], out))
+        with pytest.raises(CircuitError):
+            circuit.add(NotGate("g2", a, out))
+
+    def test_primary_inputs_detected(self):
+        circuit = Circuit()
+        a, b, out = _sig("a"), _sig("b"), _sig("out")
+        circuit.add(AndGate("g1", [a, b], out))
+        assert circuit.primary_inputs == [a, b]
+
+    def test_latch_output_is_not_primary_input(self):
+        circuit = Circuit()
+        d, q, nd = _sig("d"), _sig("q"), _sig("nd")
+        circuit.add(Latch("l", d, q))
+        circuit.add(NotGate("inv", q, nd))
+        assert q not in circuit.primary_inputs
+        assert d in circuit.primary_inputs
+
+    def test_state_signals(self):
+        circuit = Circuit()
+        d, q = _sig("d"), _sig("q")
+        circuit.add(Latch("l", d, q))
+        assert circuit.state_signals == [q]
+
+    def test_frozen_circuit_rejects_additions(self):
+        circuit = Circuit()
+        a, out = _sig("a"), _sig("out")
+        circuit.add(NotGate("inv", a, out))
+        circuit.freeze()
+        with pytest.raises(CircuitError):
+            circuit.add(NotGate("inv2", out, _sig("out2")))
+
+    def test_latch_sort_mismatch_rejected(self):
+        from repro.tlsim import TERM
+
+        with pytest.raises(ValueError):
+            Latch("l", Signal("d", TERM), Signal("q", FORMULA))
+
+
+class TestTopology:
+    def test_topological_order_respects_dependencies(self):
+        circuit = Circuit()
+        a, b, c, d = _sig("a"), _sig("b"), _sig("c"), _sig("d")
+        g2 = NotGate("g2", c, d)
+        g1 = AndGate("g1", [a, b], c)
+        circuit.add(g2)
+        circuit.add(g1)
+        order = circuit.combinational_order()
+        assert order.index(g1) < order.index(g2)
+
+    def test_combinational_cycle_rejected(self):
+        circuit = Circuit()
+        a, b = _sig("a"), _sig("b")
+        circuit.add(NotGate("g1", a, b))
+        circuit.add(NotGate("g2", b, a))
+        with pytest.raises(CircuitError):
+            circuit.freeze()
+
+    def test_cycle_through_latch_allowed(self):
+        circuit = Circuit()
+        d, q = _sig("d"), _sig("q")
+        circuit.add(Latch("l", d, q))
+        circuit.add(NotGate("inv", q, d))
+        circuit.freeze()  # no error: the latch breaks the cycle
+
+    def test_readers_map(self):
+        circuit = Circuit()
+        a, b, c = _sig("a"), _sig("b"), _sig("c")
+        g1 = NotGate("g1", a, b)
+        g2 = NotGate("g2", a, c)
+        circuit.add(g1)
+        circuit.add(g2)
+        circuit.freeze()
+        assert set(circuit.readers_of(a)) == {g1, g2}
+        assert circuit.readers_of(_sig("unknown")) == []
