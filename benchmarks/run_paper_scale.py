@@ -6,7 +6,13 @@ in pure Python; run directly:
 
     python benchmarks/run_paper_scale.py [--max-rob 1500]
 
-Results are appended to ``benchmarks/results/paper_scale.txt``.
+The sweep runs on the crash-safe campaign runner: progress is journaled to
+``benchmarks/results/paper_scale.jsonl``, so an interrupted run resumes
+where it left off (re-invoke the same command), budgets escalate 2x on
+retries, and a configuration that exhausts every budget is recorded as
+INCONCLUSIVE instead of aborting the sweep — the same protocol the paper
+applies with its 4 GB memory limit.  Pass ``--fresh`` to discard previous
+progress.  The table is appended to ``benchmarks/results/paper_scale.txt``.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ import argparse
 import resource
 import sys
 
-from repro import ProcessorConfig, verify
+from repro.campaign import CampaignRunner, Job, RetryPolicy
 
 from common import RESULTS_DIR
 
@@ -28,39 +34,72 @@ CONFIGS = [
                   # part of the reduced formula)
 ]
 
+HEADER = (
+    f"{'config':>16}  {'status':>12}  {'simulate':>9}  {'rewrite':>8}  "
+    f"{'translate':>9}  {'SAT':>7}  {'total':>8}  {'clauses':>8}  "
+    f"{'peak GB':>8}"
+)
+
+
+def _format_row(job: Job, result) -> str:
+    t = result.timings
+    peak_gb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1e6
+    clauses = int(result.stats.get("cnf_clauses", 0))
+    return (
+        f"{f'N={job.n_rob}, k={job.issue_width}':>16}  "
+        f"{result.status:>12}  "
+        f"{t.get('simulate', 0.0):>8.1f}s  {t.get('rewrite', 0.0):>7.1f}s  "
+        f"{t.get('translate', 0.0):>8.2f}s  {t.get('sat', 0.0):>6.2f}s  "
+        f"{t.get('total', 0.0):>7.1f}s  {clauses:>8}  {peak_gb:>8.2f}"
+    )
+
 
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--max-rob", type=int, default=1500)
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard the journal of a previous (partial) run",
+    )
     args = parser.parse_args()
 
     RESULTS_DIR.mkdir(exist_ok=True)
-    out_path = RESULTS_DIR / "paper_scale.txt"
-    header = (
-        f"{'config':>16}  {'simulate':>9}  {'rewrite':>8}  {'translate':>9}  "
-        f"{'SAT':>7}  {'total':>8}  {'clauses':>8}  {'peak GB':>8}"
-    )
-    print(header)
-    lines = [header]
-    for n, k in CONFIGS:
-        if n > args.max_rob:
-            continue
-        result = verify(ProcessorConfig(n_rob=n, issue_width=k))
-        if not result.correct:
-            print(f"N={n},k={k}: verification FAILED", file=sys.stderr)
-            return 1
-        t = result.timings
-        peak_gb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1e6
-        line = (
-            f"{f'N={n}, k={k}':>16}  {t['simulate']:>8.1f}s  "
-            f"{t['rewrite']:>7.1f}s  {t['translate']:>8.2f}s  "
-            f"{t['sat']:>6.2f}s  {t['total']:>7.1f}s  "
-            f"{result.encoding_stats.cnf_clauses:>8}  {peak_gb:>8.2f}"
-        )
+    journal_path = RESULTS_DIR / "paper_scale.jsonl"
+    if args.fresh and journal_path.exists():
+        journal_path.unlink()
+
+    jobs = [
+        Job.build(n, k)
+        for n, k in CONFIGS
+        if n <= args.max_rob
+    ]
+    if not jobs:
+        print("no configurations selected", file=sys.stderr)
+        return 2
+
+    print(HEADER)
+    lines = [HEADER]
+
+    def on_result(job: Job, result) -> None:
+        line = _format_row(job, result)
         print(line, flush=True)
         lines.append(line)
-    out_path.write_text("\n".join(lines) + "\n")
-    return 0
+
+    runner = CampaignRunner(
+        str(journal_path),
+        # The reduced formulas are small; a generous base budget with 2x
+        # escalation mirrors the paper's rerun-after-memory-kill protocol.
+        retry=RetryPolicy(max_attempts=3, escalation=2.0),
+        on_result=on_result,
+    )
+    report = runner.run(jobs)
+
+    (RESULTS_DIR / "paper_scale.txt").write_text("\n".join(lines) + "\n")
+    counts = report.counts()
+    if counts.get("BUG_FOUND"):
+        print("verification FAILED for some configuration", file=sys.stderr)
+    return report.exit_code()
 
 
 if __name__ == "__main__":

@@ -14,11 +14,24 @@ Public API highlights:
 * :mod:`repro.rewriting` — the paper's rewriting-rule engine.
 * :mod:`repro.encode` — the Positive-Equality EUFM-to-CNF translation.
 * :mod:`repro.sat` — the CDCL SAT solver.
+* :mod:`repro.campaign` — crash-safe batched verification campaigns with
+  retries, budget escalation and graceful degradation.
+* :mod:`repro.errors` — the structured exception taxonomy
+  (:class:`~repro.errors.ReproError` and friends).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .core import VerificationResult, verify
+from .errors import (
+    BudgetExhausted,
+    CampaignError,
+    EncodingError,
+    JournalError,
+    ReproError,
+    RewriteFailed,
+    SolverError,
+)
 from .processor import Bug, BugKind, ProcessorConfig, forwarding_bug
 
 __all__ = [
@@ -28,5 +41,12 @@ __all__ = [
     "BugKind",
     "ProcessorConfig",
     "forwarding_bug",
+    "ReproError",
+    "BudgetExhausted",
+    "RewriteFailed",
+    "EncodingError",
+    "SolverError",
+    "CampaignError",
+    "JournalError",
     "__version__",
 ]

@@ -1,10 +1,20 @@
 """Command-line interface: ``python -m repro [options]``.
 
-Examples::
+Single-run examples::
 
     python -m repro --rob 64 --width 8
     python -m repro --rob 128 --width 4 --bug forward-wrong-source --entry 72
     python -m repro --rob 2 --width 1 --method positive_equality
+    python -m repro --rob 16 --width 4 --max-conflicts 50000 --max-seconds 30
+
+Campaign mode (batches with retries, budget escalation and a crash-safe
+journal; see :mod:`repro.campaign.cli`)::
+
+    python -m repro campaign --journal camp.jsonl --grid 4x2,8x2,16x4
+
+Exit status of a single run: 0 — the design was proved correct; 1 — a bug
+was found; 2 — the SAT budget was exhausted before a verdict; 3 — another
+structured verification error.
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ import argparse
 import sys
 
 from .core import verify
+from .errors import BudgetExhausted, ReproError
 from .processor.bugs import Bug, BugKind
 from .processor.params import ProcessorConfig
 
@@ -22,7 +33,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description=(
             "Formally verify an abstract out-of-order processor with a "
-            "reorder buffer (Velev, DATE 2002 reproduction)."
+            "reorder buffer (Velev, DATE 2002 reproduction).  Use the "
+            "'campaign' subcommand for crash-safe batches."
         ),
     )
     parser.add_argument(
@@ -66,16 +78,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="data operand the defect applies to",
     )
     parser.add_argument(
+        "--max-conflicts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort when the SAT solver exceeds this many conflicts",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abort when SAT solving exceeds this wall-clock budget",
+    )
+    parser.add_argument(
         "--sat-budget",
         type=float,
         default=None,
         metavar="SECONDS",
-        help="abort when SAT solving exceeds this budget",
+        help="deprecated alias for --max-seconds",
     )
     return parser
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        from .campaign.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ProcessorConfig(
         n_rob=args.rob,
@@ -86,17 +118,35 @@ def main(argv=None) -> int:
     if args.bug is not None:
         bug = Bug(args.bug, entry=args.entry, operand=args.operand)
         print(f"Planted defect: {bug.describe()}")
+    max_seconds = args.max_seconds if args.max_seconds is not None \
+        else args.sat_budget
     try:
         result = verify(
             config,
             method=args.method,
             bug=bug,
             criterion=args.criterion,
-            max_seconds=args.sat_budget,
+            max_conflicts=args.max_conflicts,
+            max_seconds=max_seconds,
         )
-    except TimeoutError as exc:
-        print(f"aborted: {exc}", file=sys.stderr)
+    except BudgetExhausted as exc:
+        spent = []
+        if exc.conflicts is not None:
+            spent.append(f"{exc.conflicts} conflicts")
+        if exc.seconds is not None:
+            spent.append(f"{exc.seconds:.1f}s in SAT")
+        spent_text = f" after {', '.join(spent)}" if spent else ""
+        print(
+            f"budget exhausted{spent_text}: {exc}\n"
+            "hint: raise --max-conflicts/--max-seconds, or use "
+            "'python -m repro campaign' for automatic budget escalation",
+            file=sys.stderr,
+        )
         return 2
+    except ReproError as exc:
+        print(f"verification failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 3
     print(result.summary())
     return 0 if result.correct else 1
 

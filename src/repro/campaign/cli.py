@@ -1,0 +1,209 @@
+"""``python -m repro campaign`` — run or resume a verification campaign.
+
+Job sources (combine freely; at least one is required unless resuming):
+
+* ``--spec jobs.json`` — a JSON list of job dicts
+  (see :meth:`repro.campaign.jobs.Job.to_dict`);
+* ``--grid "8x2,16x4"`` — generate one job per ``NxK`` configuration
+  using the shared ``--method``/``--criterion``/``--bug`` options;
+* neither — resume the jobs recorded in the journal.
+
+The journal (``--journal``) makes the campaign crash-safe: re-running the
+same command after an interruption re-runs only unfinished jobs.  Exit
+status: 0 when every job is ``PROVED``, 1 when any job is ``BUG_FOUND``,
+4 when any job is ``INCONCLUSIVE``, 2 on a campaign setup error.
+
+Examples::
+
+    python -m repro campaign --journal camp.jsonl --grid 4x2,8x2,8x4
+    python -m repro campaign --journal camp.jsonl --spec jobs.json \
+        --max-attempts 4 --escalation 2.0
+    python -m repro campaign --journal camp.jsonl        # resume
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from ..errors import CampaignError, JournalError
+from ..processor.bugs import BugKind
+from .jobs import Job
+from .runner import CampaignRunner, DegradePolicy, RetryPolicy
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description=(
+            "Run a batch of verification jobs with retries, budget "
+            "escalation, graceful degradation and a crash-safe journal."
+        ),
+    )
+    parser.add_argument(
+        "--journal",
+        required=True,
+        metavar="PATH",
+        help="JSONL journal; existing journals are resumed, not re-run",
+    )
+    parser.add_argument(
+        "--spec",
+        metavar="FILE",
+        help="JSON file holding a list of job dicts",
+    )
+    parser.add_argument(
+        "--grid",
+        metavar="N1xK1,N2xK2,...",
+        help="generate jobs for the given ROB-size x issue-width configs",
+    )
+    parser.add_argument(
+        "--method",
+        choices=("rewriting", "positive_equality"),
+        default="rewriting",
+        help="method for --grid jobs (default: rewriting)",
+    )
+    parser.add_argument(
+        "--criterion",
+        choices=("disjunction", "case_split"),
+        default="disjunction",
+        help="correctness criterion for --grid jobs",
+    )
+    parser.add_argument(
+        "--bug",
+        choices=BugKind.ALL,
+        default=None,
+        help="plant this defect in every --grid job",
+    )
+    parser.add_argument(
+        "--entry", type=int, default=1, help="ROB entry for --bug"
+    )
+    parser.add_argument(
+        "--max-conflicts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="base per-attempt conflict budget (escalated on retries)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="base per-attempt wall-clock budget (escalated on retries)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="A",
+        help="attempts per method before degrading (default 3)",
+    )
+    parser.add_argument(
+        "--escalation",
+        type=float,
+        default=2.0,
+        metavar="F",
+        help="budget multiplier between attempts (default 2.0)",
+    )
+    parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="record INCONCLUSIVE instead of falling back to "
+        "positive_equality when rewriting exhausts its retries",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard any existing journal and start over",
+    )
+    parser.add_argument(
+        "--strict-journal",
+        action="store_true",
+        help="fail on mid-file journal corruption instead of skipping it",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    return parser
+
+
+def _parse_grid(grid: str) -> List[tuple]:
+    configs = []
+    for chunk in grid.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            n_text, k_text = chunk.lower().split("x", 1)
+            configs.append((int(n_text), int(k_text)))
+        except ValueError:
+            raise CampaignError(
+                f"bad --grid entry {chunk!r}; expected the form NxK (e.g. 8x2)"
+            )
+    if not configs:
+        raise CampaignError("--grid names no configurations")
+    return configs
+
+
+def _collect_jobs(args: argparse.Namespace) -> Optional[List[Job]]:
+    jobs: List[Job] = []
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, list):
+            raise CampaignError(
+                f"{args.spec}: expected a JSON list of job dicts"
+            )
+        jobs.extend(Job.from_dict(item) for item in payload)
+    if args.grid:
+        for n_rob, width in _parse_grid(args.grid):
+            jobs.append(
+                Job.build(
+                    n_rob,
+                    width,
+                    method=args.method,
+                    criterion=args.criterion,
+                    bug_kind=args.bug,
+                    bug_entry=args.entry,
+                    max_conflicts=args.max_conflicts,
+                    max_seconds=args.max_seconds,
+                )
+            )
+    return jobs or None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    log = (lambda message: None) if args.quiet else print
+    try:
+        jobs = _collect_jobs(args)
+        if args.fresh and os.path.exists(args.journal):
+            os.remove(args.journal)
+        runner = CampaignRunner(
+            args.journal,
+            retry=RetryPolicy(
+                max_attempts=args.max_attempts,
+                escalation=args.escalation,
+                base_conflicts=args.max_conflicts
+                if args.max_conflicts is not None
+                else RetryPolicy.base_conflicts,
+                base_seconds=args.max_seconds,
+            ),
+            degrade=DegradePolicy(
+                fallback_method=None if args.no_degrade else "positive_equality"
+            ),
+            log=log,
+            strict_journal=args.strict_journal,
+        )
+        report = runner.run(jobs)
+    except (CampaignError, JournalError, OSError) as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(report.summary())
+    return report.exit_code()

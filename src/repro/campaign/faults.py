@@ -1,0 +1,137 @@
+"""Deterministic fault injection for campaign robustness testing.
+
+The runner's recovery paths — retry with budget escalation, graceful
+degradation, journal resume — only earn trust if they can be exercised on
+demand.  A :class:`FaultPlan` maps ``(job_id, attempt)`` (optionally
+narrowed to a method) to a synthetic failure that fires exactly once, at
+the seam where the runner hands a job to :func:`repro.core.verify`:
+
+* ``solver-timeout`` — raises :class:`~repro.errors.BudgetExhausted`, the
+  exact exception a real SAT budget blow-up produces;
+* ``rewrite-failure`` — raises :class:`~repro.errors.RewriteFailed`, as
+  when the diagram lacks the structure the rewriting rules assume;
+* ``oom`` — raises :class:`MemoryError`, simulating the paper's 4 GB
+  memory-limit kills;
+* ``crash`` — raises :class:`InjectedCrash` (a ``BaseException``), which
+  no recovery path may catch: it unwinds the whole campaign exactly like
+  ``kill -9`` mid-run, leaving the journal with an in-flight job;
+* ``journal-corrupt`` — garbles the tail of the journal *and then*
+  crashes, simulating a torn write at the moment the machine died.
+
+Because injected failures use the same exception types as real ones, the
+runner cannot distinguish drill from emergency — the recovery machinery
+under test is the production machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..errors import BudgetExhausted, CampaignError, RewriteFailed
+from .journal import Journal
+
+__all__ = ["FaultKind", "Fault", "FaultPlan", "InjectedCrash"]
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death.
+
+    Deliberately a ``BaseException``: the runner's ``except ReproError``
+    recovery handlers must not (and cannot) swallow it, mirroring a real
+    SIGKILL which no handler sees.
+    """
+
+
+class FaultKind:
+    """Supported synthetic failure classes."""
+
+    SOLVER_TIMEOUT = "solver-timeout"
+    REWRITE_FAILURE = "rewrite-failure"
+    OOM = "oom"
+    CRASH = "crash"
+    JOURNAL_CORRUPT = "journal-corrupt"
+
+    ALL = (SOLVER_TIMEOUT, REWRITE_FAILURE, OOM, CRASH, JOURNAL_CORRUPT)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned failure.
+
+    Attributes:
+        kind: one of :class:`FaultKind`.
+        job_id: the job the fault applies to.
+        attempt: 1-based attempt number that triggers it.
+        method: restrict to a method phase (``None`` = any method).
+        detail: free-form text carried into the raised exception.
+    """
+
+    kind: str
+    job_id: str
+    attempt: int = 1
+    method: Optional[str] = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FaultKind.ALL:
+            raise CampaignError(
+                f"unknown fault kind {self.kind!r}; use one of {FaultKind.ALL}"
+            )
+        if self.attempt < 1:
+            raise CampaignError("fault attempt numbers are 1-based")
+
+
+class FaultPlan:
+    """A deterministic, one-shot schedule of faults."""
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self._by_key: Dict[Tuple[str, int], Fault] = {}
+        for fault in faults:
+            key = (fault.job_id, fault.attempt)
+            if key in self._by_key:
+                raise CampaignError(
+                    f"duplicate fault for job {fault.job_id!r} "
+                    f"attempt {fault.attempt}"
+                )
+            self._by_key[key] = fault
+        self._fired: Set[Tuple[str, int]] = set()
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    @property
+    def fired(self) -> int:
+        return len(self._fired)
+
+    def fire(
+        self, job_id: str, attempt: int, method: str,
+        journal: Optional[Journal] = None,
+    ) -> None:
+        """Raise the planned fault for this attempt, if any (once)."""
+        key = (job_id, attempt)
+        fault = self._by_key.get(key)
+        if fault is None or key in self._fired:
+            return
+        if fault.method is not None and fault.method != method:
+            return
+        self._fired.add(key)
+        where = f"job {job_id!r} attempt {attempt} ({method})"
+        detail = fault.detail or f"injected at {where}"
+        if fault.kind == FaultKind.SOLVER_TIMEOUT:
+            raise BudgetExhausted(
+                f"injected solver timeout: {detail}",
+                conflicts=0,
+                seconds=0.0,
+            )
+        if fault.kind == FaultKind.REWRITE_FAILURE:
+            raise RewriteFailed(
+                f"injected rewrite failure: {detail}", stage="injected"
+            )
+        if fault.kind == FaultKind.OOM:
+            raise MemoryError(f"injected out-of-memory: {detail}")
+        if fault.kind == FaultKind.JOURNAL_CORRUPT:
+            if journal is not None:
+                journal.corrupt_tail()
+            raise InjectedCrash(f"injected torn-write crash: {detail}")
+        raise InjectedCrash(f"injected crash: {detail}")

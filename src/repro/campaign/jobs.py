@@ -1,0 +1,178 @@
+"""Job and outcome records for verification campaigns.
+
+A :class:`Job` is a fully serializable description of one verification
+run — processor configuration, method, optional planted bug, and the
+*base* SAT budget of the first attempt (the runner escalates it on
+retries).  A :class:`JobResult` is the terminal record the campaign
+produces for every job; its ``status`` is always one of
+:data:`TERMINAL_STATES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.results import VerificationResult
+from ..errors import CampaignError
+from ..processor.bugs import Bug
+from ..processor.params import ProcessorConfig
+
+__all__ = ["TERMINAL_STATES", "Job", "JobResult"]
+
+#: Every job ends in exactly one of these states.  ``PROVED`` — the design
+#: satisfies the Burch–Dill criterion; ``BUG_FOUND`` — verification
+#: produced a counterexample or the rewriting rules flagged a slice;
+#: ``INCONCLUSIVE`` — every budget/fallback was exhausted without a
+#: verdict (the campaign analogue of the paper's out-of-memory entries).
+TERMINAL_STATES = ("PROVED", "BUG_FOUND", "INCONCLUSIVE")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One verification job in a campaign."""
+
+    job_id: str
+    n_rob: int
+    issue_width: int
+    retire_width: Optional[int] = None
+    method: str = "rewriting"
+    criterion: str = "disjunction"
+    bug_kind: Optional[str] = None
+    bug_entry: int = 1
+    bug_operand: int = 1
+    #: base budgets of attempt 1; ``None`` defers to the runner's policy.
+    max_conflicts: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    def config(self) -> ProcessorConfig:
+        return ProcessorConfig(
+            n_rob=self.n_rob,
+            issue_width=self.issue_width,
+            retire_width=self.retire_width,
+        )
+
+    def bug(self) -> Optional[Bug]:
+        if self.bug_kind is None:
+            return None
+        return Bug(self.bug_kind, entry=self.bug_entry, operand=self.bug_operand)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "n_rob": self.n_rob,
+            "issue_width": self.issue_width,
+            "retire_width": self.retire_width,
+            "method": self.method,
+            "criterion": self.criterion,
+            "bug_kind": self.bug_kind,
+            "bug_entry": self.bug_entry,
+            "bug_operand": self.bug_operand,
+            "max_conflicts": self.max_conflicts,
+            "max_seconds": self.max_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Job":
+        unknown = set(data) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise CampaignError(
+                f"job spec has unknown field(s): {sorted(unknown)}"
+            )
+        if "job_id" not in data:
+            raise CampaignError("job spec is missing 'job_id'")
+        return cls(**data)
+
+    @classmethod
+    def build(
+        cls,
+        n_rob: int,
+        issue_width: int,
+        *,
+        job_id: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "Job":
+        """Construct a job, deriving a readable id when none is given."""
+        if job_id is None:
+            method = kwargs.get("method", "rewriting")
+            abbrev = "rw" if method == "rewriting" else "pe"
+            job_id = f"{abbrev}-N{n_rob}-k{issue_width}"
+            retire = kwargs.get("retire_width")
+            if retire is not None and retire != issue_width:
+                job_id += f"-l{retire}"
+            bug_kind = kwargs.get("bug_kind")
+            if bug_kind is not None:
+                job_id += f"-{bug_kind}@{kwargs.get('bug_entry', 1)}"
+        return cls(job_id=job_id, n_rob=n_rob, issue_width=issue_width, **kwargs)
+
+
+@dataclass
+class JobResult:
+    """Terminal outcome of one campaign job."""
+
+    job_id: str
+    status: str  # one of TERMINAL_STATES
+    #: the method that produced the verdict (may differ from the job's
+    #: requested method after graceful degradation).
+    method: str
+    #: total verify attempts across all methods, including failed ones.
+    attempts: int
+    detail: str = ""
+    suspected_entry: Optional[int] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: CNF statistics of the deciding run (Tables 3/5 layout), if any.
+    stats: Dict[str, float] = field(default_factory=dict)
+    #: True when this result was replayed from the journal, not re-run.
+    from_journal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.status not in TERMINAL_STATES:
+            raise CampaignError(
+                f"{self.status!r} is not a terminal state {TERMINAL_STATES}"
+            )
+
+    @classmethod
+    def from_verification(
+        cls, job: Job, method: str, attempts: int, result: VerificationResult
+    ) -> "JobResult":
+        if result.correct:
+            status, detail = "PROVED", ""
+        else:
+            status = "BUG_FOUND"
+            detail = result.failure_detail or "SAT counterexample"
+        stats = result.encoding_stats
+        return cls(
+            job_id=job.job_id,
+            status=status,
+            method=method,
+            attempts=attempts,
+            detail=detail,
+            suspected_entry=result.suspected_entry,
+            timings=dict(result.timings),
+            stats=dict(stats.as_row()) if stats is not None else {},
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "method": self.method,
+            "attempts": self.attempts,
+            "detail": self.detail,
+            "suspected_entry": self.suspected_entry,
+            "timings": self.timings,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
+        return cls(
+            job_id=data["job_id"],
+            status=data["status"],
+            method=data.get("method", "rewriting"),
+            attempts=int(data.get("attempts", 1)),
+            detail=data.get("detail", ""),
+            suspected_entry=data.get("suspected_entry"),
+            timings=dict(data.get("timings", {})),
+            stats=dict(data.get("stats", {})),
+        )

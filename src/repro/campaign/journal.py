@@ -1,0 +1,197 @@
+"""Crash-safe append-only JSONL journal for campaign progress.
+
+Every record is one line::
+
+    {"crc": 2774120735, "data": {"event": "finish", ...}}
+
+where ``crc`` is the CRC-32 of the canonical JSON serialization of
+``data``.  Appends are flushed and fsync'ed, so after a crash the journal
+contains every completed record plus at most one torn line at the tail.
+The loader therefore tolerates exactly the corruption a crash can
+produce — a truncated or garbled *final* line — silently, and skips (but
+counts) corrupt lines elsewhere; ``strict=True`` turns mid-file
+corruption into a :class:`~repro.errors.JournalError` instead.
+
+Event vocabulary written by the runner:
+
+* ``enqueue`` — the job spec, journaled once so a campaign can resume
+  from the journal alone;
+* ``start`` — one attempt began (job id, attempt number, method, budget);
+* ``attempt_failed`` — the attempt ended without a verdict (budget
+  exhausted, injected fault, ...), and why;
+* ``finish`` — the job reached a terminal state; the full
+  :class:`~repro.campaign.jobs.JobResult` payload.
+
+A job with a ``start`` but no ``finish`` was in flight when the process
+died and is re-run on resume; a job with a ``finish`` is never re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import JournalError
+
+__all__ = ["Journal", "JournalReplay"]
+
+
+def _canonical(data: Dict[str, Any]) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: str) -> int:
+    return zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+
+
+class Journal:
+    """Append-only writer; see the module docstring for the format."""
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def append(self, data: Dict[str, Any]) -> None:
+        """Durably append one record (flush + fsync)."""
+        payload = _canonical(data)
+        line = json.dumps({"crc": _checksum(payload), "data": data},
+                          sort_keys=True)
+        self._file.write(line + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- fault-injection seam -------------------------------------------
+
+    def corrupt_tail(self, nbytes: int = 24) -> None:
+        """Overwrite the last ``nbytes`` with garbage (simulates a torn
+        write at crash time; used by the fault harness and tests)."""
+        self._file.flush()
+        with open(self.path, "r+b") as raw:
+            raw.seek(0, os.SEEK_END)
+            size = raw.tell()
+            raw.seek(max(0, size - nbytes))
+            raw.write(b"\x00garbage\x00" * (nbytes // 9 + 1))
+            raw.truncate(size)
+
+    # -- loading ---------------------------------------------------------
+
+    @staticmethod
+    def load(path: str, strict: bool = False) -> "JournalReplay":
+        """Replay a journal, tolerating crash-shaped corruption."""
+        records: List[Dict[str, Any]] = []
+        corrupt: List[Tuple[int, str]] = []
+        if not os.path.exists(path):
+            return JournalReplay(records=records, corrupt_lines=0,
+                                 torn_tail=False)
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            lines = handle.read().splitlines()
+        last_content = -1
+        for index, line in enumerate(lines):
+            if line.strip():
+                last_content = index
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            data = _decode_line(line)
+            if data is None:
+                corrupt.append((index + 1, line[:80]))
+                continue
+            records.append(data)
+        torn_tail = bool(corrupt) and corrupt[-1][0] == last_content + 1
+        mid_file = corrupt[:-1] if torn_tail else corrupt
+        if strict and mid_file:
+            lineno, snippet = mid_file[0]
+            raise JournalError(
+                f"{path}:{lineno}: corrupt journal record {snippet!r}"
+            )
+        return JournalReplay(
+            records=records,
+            corrupt_lines=len(mid_file),
+            torn_tail=torn_tail,
+        )
+
+
+def _decode_line(line: str) -> Optional[Dict[str, Any]]:
+    try:
+        wrapper = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(wrapper, dict) or "data" not in wrapper:
+        return None
+    data = wrapper["data"]
+    if not isinstance(data, dict):
+        return None
+    if wrapper.get("crc") != _checksum(_canonical(data)):
+        return None
+    return data
+
+
+class JournalReplay:
+    """Parsed journal contents plus derived campaign state."""
+
+    def __init__(self, records: List[Dict[str, Any]], corrupt_lines: int,
+                 torn_tail: bool) -> None:
+        self.records = records
+        #: mid-file corrupt lines that were skipped (not the torn tail).
+        self.corrupt_lines = corrupt_lines
+        #: True when the final line was torn (the crash signature).
+        self.torn_tail = torn_tail
+
+    def events(self, kind: str) -> Iterator[Dict[str, Any]]:
+        return (rec for rec in self.records if rec.get("event") == kind)
+
+    def job_specs(self) -> Dict[str, Dict[str, Any]]:
+        """Job specs journaled by ``enqueue`` events, in order."""
+        specs: Dict[str, Dict[str, Any]] = {}
+        for rec in self.events("enqueue"):
+            job = rec.get("job", {})
+            if "job_id" in job:
+                specs.setdefault(job["job_id"], job)
+        return specs
+
+    def finished(self) -> Dict[str, Dict[str, Any]]:
+        """Terminal results by job id (later records win)."""
+        done: Dict[str, Dict[str, Any]] = {}
+        for rec in self.events("finish"):
+            if "job_id" in rec:
+                done[rec["job_id"]] = rec
+        return done
+
+    def failed_attempts(self) -> Dict[Tuple[str, str], int]:
+        """Count of recorded failed attempts per (job_id, method).
+
+        Resume semantics: an attempt with a ``start`` but neither
+        ``attempt_failed`` nor ``finish`` was in flight at the crash and
+        is *re-run* with the same escalated budget, so only explicitly
+        failed attempts advance the escalation schedule.
+        """
+        counts: Dict[Tuple[str, str], int] = {}
+        for rec in self.events("attempt_failed"):
+            key = (rec.get("job_id", ""), rec.get("method", ""))
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def in_flight(self) -> Dict[str, Dict[str, Any]]:
+        """Jobs that started but never reached a terminal state."""
+        finished = self.finished()
+        open_jobs: Dict[str, Dict[str, Any]] = {}
+        for rec in self.events("start"):
+            job_id = rec.get("job_id")
+            if job_id and job_id not in finished:
+                open_jobs[job_id] = rec
+        return open_jobs

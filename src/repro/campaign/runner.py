@@ -1,0 +1,357 @@
+"""The campaign runner: budgeted, retrying, crash-safe job execution.
+
+Execution model (per job):
+
+1. run ``verify()`` under the attempt's budget — the job's base budget
+   scaled by :attr:`RetryPolicy.escalation` raised to the attempt number
+   (exponential budget escalation, capped);
+2. on :class:`~repro.errors.BudgetExhausted` / :class:`MemoryError`,
+   journal the failed attempt and retry with the next, larger budget;
+3. when a ``rewriting`` job exhausts its attempts — or the rewrite engine
+   itself fails structurally — degrade gracefully: re-run the job under
+   :attr:`DegradePolicy.fallback_method` (Positive Equality on the full
+   formula) with a fresh attempt schedule;
+4. when every fallback is exhausted too, record a structured
+   ``INCONCLUSIVE`` outcome instead of crashing the batch — the campaign
+   analogue of the paper's out-of-memory table entries.
+
+Every transition is appended to a :class:`~repro.campaign.journal.Journal`
+before/after it happens, so a killed campaign resumes exactly where it
+left off: finished jobs are never re-run, recorded failed attempts keep
+their place in the escalation schedule, and the attempt that was in
+flight at the kill is re-run at the same budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import BudgetExhausted, CampaignError, ReproError
+from .faults import FaultPlan
+from .jobs import Job, JobResult
+from .journal import Journal
+
+__all__ = ["RetryPolicy", "DegradePolicy", "CampaignRunner", "CampaignReport"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Budget and escalation schedule for verification attempts.
+
+    Attempt ``a`` (1-based) runs with ``base * escalation**(a - 1)``
+    conflicts/seconds, capped.  The base comes from the job when set,
+    otherwise from this policy; a base of ``None`` means unbounded (no
+    budget of that kind is enforced).
+    """
+
+    max_attempts: int = 3
+    escalation: float = 2.0
+    base_conflicts: Optional[int] = 100_000
+    conflicts_cap: int = 2_000_000
+    base_seconds: Optional[float] = None
+    seconds_cap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise CampaignError("max_attempts must be at least 1")
+        if self.escalation < 1.0:
+            raise CampaignError("escalation factor must be >= 1")
+
+    def budget_for(
+        self, job: Job, attempt: int
+    ) -> Tuple[Optional[int], Optional[float]]:
+        """The (max_conflicts, max_seconds) budget of one attempt."""
+        factor = self.escalation ** (attempt - 1)
+        base_c = job.max_conflicts if job.max_conflicts is not None \
+            else self.base_conflicts
+        conflicts = None
+        if base_c is not None:
+            conflicts = min(int(base_c * factor), self.conflicts_cap)
+        base_s = job.max_seconds if job.max_seconds is not None \
+            else self.base_seconds
+        seconds = None
+        if base_s is not None:
+            seconds = base_s * factor
+            if self.seconds_cap is not None:
+                seconds = min(seconds, self.seconds_cap)
+        return conflicts, seconds
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """What to do when a method exhausts its retries.
+
+    ``fallback_method`` re-queues failed ``rewriting`` jobs under the
+    Positive-Equality baseline (the full, un-rewritten formula); set it to
+    ``None`` to go straight to ``INCONCLUSIVE``.
+    """
+
+    fallback_method: Optional[str] = "positive_equality"
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of a campaign run."""
+
+    results: Dict[str, JobResult]
+    #: jobs whose finish was replayed from the journal (not re-run).
+    replayed: int = 0
+    #: mid-file corrupt journal lines that were skipped on load.
+    corrupt_lines: int = 0
+    #: True when the journal ended in a torn line (crash signature).
+    torn_tail: bool = False
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for result in self.results.values():
+            tally[result.status] = tally.get(result.status, 0) + 1
+        return tally
+
+    def exit_code(self) -> int:
+        """0 = all proved; 1 = a bug was found; 4 = inconclusive jobs."""
+        counts = self.counts()
+        if counts.get("BUG_FOUND"):
+            return 1
+        if counts.get("INCONCLUSIVE"):
+            return 4
+        return 0
+
+    def summary(self) -> str:
+        header = (
+            f"{'job':<28} {'status':<13} {'method':<18} "
+            f"{'tries':>5} {'total':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for result in self.results.values():
+            total = result.timings.get("total", 0.0)
+            note = " (journal)" if result.from_journal else ""
+            detail = f"  [{result.detail}]" if result.detail else ""
+            lines.append(
+                f"{result.job_id:<28} {result.status:<13} "
+                f"{result.method:<18} {result.attempts:>5} "
+                f"{total:>7.2f}s{note}{detail}"
+            )
+        tally = ", ".join(
+            f"{count} {status}" for status, count in sorted(self.counts().items())
+        )
+        lines.append(f"{len(self.results)} job(s): {tally}"
+                     f" ({self.replayed} replayed from journal)")
+        if self.corrupt_lines:
+            lines.append(
+                f"warning: skipped {self.corrupt_lines} corrupt journal line(s)"
+            )
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Executes a batch of jobs against a crash-safe journal.
+
+    Args:
+        journal_path: JSONL journal; created if missing, resumed if not.
+        retry: budget/escalation schedule (:class:`RetryPolicy`).
+        degrade: fallback behaviour (:class:`DegradePolicy`).
+        verify_fn: override for :func:`repro.core.verify` (tests/monitors).
+        fault_plan: optional :class:`~repro.campaign.faults.FaultPlan`
+            consulted at the verify seam on every attempt.
+        on_result: callback invoked with ``(job, result)`` after every job
+            reaches a terminal state (including journal replays).
+        log: line sink for progress messages (e.g. ``print``).
+    """
+
+    def __init__(
+        self,
+        journal_path: str,
+        retry: Optional[RetryPolicy] = None,
+        degrade: Optional[DegradePolicy] = None,
+        verify_fn: Optional[Callable] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        on_result: Optional[Callable[[Job, JobResult], None]] = None,
+        log: Optional[Callable[[str], None]] = None,
+        strict_journal: bool = False,
+    ) -> None:
+        if verify_fn is None:
+            from ..core.verifier import verify as verify_fn
+        self.journal_path = journal_path
+        self.retry = retry or RetryPolicy()
+        self.degrade = degrade or DegradePolicy()
+        self.verify_fn = verify_fn
+        self.fault_plan = fault_plan
+        self.on_result = on_result
+        self._log = log or (lambda message: None)
+        self.strict_journal = strict_journal
+
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: Optional[Iterable[Job]] = None) -> CampaignReport:
+        """Run (or resume) the campaign; returns when every job is terminal.
+
+        With ``jobs=None`` the job list is recovered from the journal's
+        ``enqueue`` records, so ``CampaignRunner(path).run()`` resumes an
+        interrupted campaign without re-supplying the spec.
+        """
+        replay = Journal.load(self.journal_path, strict=self.strict_journal)
+        known_specs = replay.job_specs()
+        if jobs is None:
+            if not known_specs:
+                raise CampaignError(
+                    f"no jobs supplied and journal {self.journal_path!r} "
+                    "records none to resume"
+                )
+            job_list = [Job.from_dict(spec) for spec in known_specs.values()]
+        else:
+            job_list = list(jobs)
+        if not job_list:
+            raise CampaignError("the campaign has no jobs")
+        seen = set()
+        for job in job_list:
+            if job.job_id in seen:
+                raise CampaignError(f"duplicate job id {job.job_id!r}")
+            seen.add(job.job_id)
+
+        finished = replay.finished()
+        failed_attempts = replay.failed_attempts()
+        results: Dict[str, JobResult] = {}
+        replayed = 0
+
+        with Journal(self.journal_path) as journal:
+            for job in job_list:
+                if job.job_id not in known_specs:
+                    journal.append({"event": "enqueue", "job": job.to_dict()})
+            for job in job_list:
+                if job.job_id in finished:
+                    result = JobResult.from_dict(finished[job.job_id])
+                    result.from_journal = True
+                    results[job.job_id] = result
+                    replayed += 1
+                    self._log(f"{job.job_id}: {result.status} (from journal)")
+                else:
+                    result = self._run_job(job, journal, failed_attempts)
+                    journal.append({"event": "finish", **result.to_dict()})
+                    results[job.job_id] = result
+                    self._log(
+                        f"{job.job_id}: {result.status} after "
+                        f"{result.attempts} attempt(s) via {result.method}"
+                    )
+                if self.on_result is not None:
+                    self.on_result(job, result)
+
+        return CampaignReport(
+            results=results,
+            replayed=replayed,
+            corrupt_lines=replay.corrupt_lines,
+            torn_tail=replay.torn_tail,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_job(
+        self,
+        job: Job,
+        journal: Journal,
+        failed_attempts: Dict[Tuple[str, str], int],
+    ) -> JobResult:
+        """Drive one job to a terminal state (never raises ReproError)."""
+        method = job.method
+        tried: List[str] = []
+        total_attempts = 0
+        last_detail = ""
+        while True:
+            result, used, detail = self._try_method(
+                job, method, journal, failed_attempts
+            )
+            total_attempts += used
+            if result is not None:
+                result.attempts = total_attempts
+                return result
+            last_detail = detail or last_detail
+            tried.append(method)
+            fallback = self.degrade.fallback_method
+            if (
+                method == "rewriting"
+                and fallback is not None
+                and fallback not in tried
+            ):
+                self._log(
+                    f"{job.job_id}: rewriting exhausted "
+                    f"({last_detail or 'no attempts left'}); "
+                    f"degrading to {fallback}"
+                )
+                method = fallback
+                continue
+            return JobResult(
+                job_id=job.job_id,
+                status="INCONCLUSIVE",
+                method=method,
+                attempts=total_attempts,
+                detail=last_detail or "all budgets and fallbacks exhausted",
+            )
+
+    def _try_method(
+        self,
+        job: Job,
+        method: str,
+        journal: Journal,
+        failed_attempts: Dict[Tuple[str, str], int],
+    ) -> Tuple[Optional[JobResult], int, str]:
+        """All attempts of one method; ``(None, n, why)`` when exhausted."""
+        start_attempt = failed_attempts.get((job.job_id, method), 0) + 1
+        used = 0
+        last_detail = ""
+        for attempt in range(start_attempt, self.retry.max_attempts + 1):
+            max_conflicts, max_seconds = self.retry.budget_for(job, attempt)
+            journal.append({
+                "event": "start",
+                "job_id": job.job_id,
+                "attempt": attempt,
+                "method": method,
+                "max_conflicts": max_conflicts,
+                "max_seconds": max_seconds,
+            })
+            used += 1
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.fire(job.job_id, attempt, method, journal)
+                result = self.verify_fn(
+                    job.config(),
+                    method=method,
+                    bug=job.bug(),
+                    criterion=job.criterion,
+                    max_conflicts=max_conflicts,
+                    max_seconds=max_seconds,
+                )
+            except (BudgetExhausted, MemoryError) as exc:
+                # Recoverable: the next attempt gets an escalated budget
+                # (the paper's protocol: rerun the 4 GB kills bigger).
+                last_detail = f"{type(exc).__name__}: {exc}"
+                journal.append({
+                    "event": "attempt_failed",
+                    "job_id": job.job_id,
+                    "attempt": attempt,
+                    "method": method,
+                    "error": type(exc).__name__,
+                    "detail": str(exc),
+                })
+                self._log(
+                    f"{job.job_id}: attempt {attempt}/{self.retry.max_attempts}"
+                    f" ({method}) failed — {last_detail}"
+                )
+                continue
+            except (ReproError, ValueError) as exc:
+                # Structural: a bigger budget cannot help this method.
+                last_detail = f"{type(exc).__name__}: {exc}"
+                journal.append({
+                    "event": "attempt_failed",
+                    "job_id": job.job_id,
+                    "attempt": attempt,
+                    "method": method,
+                    "error": type(exc).__name__,
+                    "detail": str(exc),
+                })
+                return None, used, last_detail
+            return (
+                JobResult.from_verification(job, method, used, result),
+                used,
+                "",
+            )
+        return None, used, last_detail

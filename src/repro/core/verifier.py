@@ -20,6 +20,7 @@ import time
 from typing import Optional
 
 from ..encode.evc import check_validity
+from ..errors import BudgetExhausted
 from ..processor.bugs import Bug
 from ..processor.correctness import build_correctness_formula, run_diagram
 from ..processor.params import ProcessorConfig
@@ -29,6 +30,15 @@ from .results import VerificationResult
 __all__ = ["verify", "METHODS"]
 
 METHODS = ("rewriting", "positive_equality")
+
+
+def _enrich_budget_error(
+    exc: BudgetExhausted, timings: dict, start: float
+) -> None:
+    """Fold the phases completed before the abort into the exception."""
+    for phase, seconds in timings.items():
+        exc.timings.setdefault(phase, seconds)
+    exc.timings["total"] = time.perf_counter() - start
 
 
 def verify(
@@ -48,8 +58,11 @@ def verify(
         criterion: ``"disjunction"`` (the paper's formula) or
             ``"case_split"`` (the stronger fetch-count criterion).
         max_conflicts / max_seconds: SAT budget; raises
-            :class:`TimeoutError` when exhausted (this plays the role of
-            the paper's 4 GB memory limit in the scaling experiments).
+            :class:`repro.errors.BudgetExhausted` (a :class:`TimeoutError`
+            subclass) when exhausted — this plays the role of the paper's
+            4 GB memory limit in the scaling experiments.  The exception's
+            ``timings`` dict still carries the phase timings accumulated
+            before the abort.
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; use one of {METHODS}")
@@ -73,12 +86,16 @@ def verify(
                 rewrite=rewrite,
                 timings=timings,
             )
-        validity = check_validity(
-            rewrite.reduced_formula,
-            memory_mode="conservative",
-            max_conflicts=max_conflicts,
-            max_seconds=max_seconds,
-        )
+        try:
+            validity = check_validity(
+                rewrite.reduced_formula,
+                memory_mode="conservative",
+                max_conflicts=max_conflicts,
+                max_seconds=max_seconds,
+            )
+        except BudgetExhausted as exc:
+            _enrich_budget_error(exc, timings, start)
+            raise
         timings["translate"] = validity.encoded.stats.translate_seconds
         timings["sat"] = validity.solve_seconds
         timings["total"] = time.perf_counter() - start
@@ -94,12 +111,16 @@ def verify(
         )
 
     formula = build_correctness_formula(artifacts, criterion=criterion)
-    validity = check_validity(
-        formula,
-        memory_mode="precise",
-        max_conflicts=max_conflicts,
-        max_seconds=max_seconds,
-    )
+    try:
+        validity = check_validity(
+            formula,
+            memory_mode="precise",
+            max_conflicts=max_conflicts,
+            max_seconds=max_seconds,
+        )
+    except BudgetExhausted as exc:
+        _enrich_budget_error(exc, timings, start)
+        raise
     timings["translate"] = validity.encoded.stats.translate_seconds
     timings["sat"] = validity.solve_seconds
     timings["total"] = time.perf_counter() - start

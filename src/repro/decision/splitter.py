@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..errors import BudgetExhausted, SolverError
 from ..eufm import builder
 from ..eufm.ast import (
     FALSE,
@@ -39,7 +40,7 @@ from .congruence import Env
 __all__ = ["DecisionBudget", "BudgetExceeded", "is_satisfiable", "is_valid"]
 
 
-class BudgetExceeded(Exception):
+class BudgetExceeded(BudgetExhausted):
     """The split budget was exhausted before a decision was reached."""
 
 
@@ -53,7 +54,10 @@ class DecisionBudget:
     def charge(self) -> None:
         self.splits += 1
         if self.splits > self.max_splits:
-            raise BudgetExceeded(f"exceeded {self.max_splits} case splits")
+            raise BudgetExceeded(
+                f"exceeded {self.max_splits} case splits",
+                budget_kind="splits",
+            )
 
 
 def is_valid(phi: Formula, budget: Optional[DecisionBudget] = None) -> bool:
@@ -83,7 +87,7 @@ def _search(phi: Formula, env: Env, budget: DecisionBudget) -> bool:
         return False
     atom = _pick_atom(phi)
     if atom is None:
-        raise RuntimeError(
+        raise SolverError(
             "non-constant formula without a splittable atom: "
             "this indicates a simplification gap"
         )

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..errors import BudgetExhausted, EncodingError
 from ..eufm import builder
 from ..eufm.ast import FALSE, TRUE, BoolVar, Formula, TermVar
 from ..eufm.polarity import PolarityInfo, classify
@@ -182,10 +183,22 @@ def check_validity(
         encoded.cnf, max_conflicts=max_conflicts, max_seconds=max_seconds
     )
     if sat_result.status == "unknown":
-        raise TimeoutError(
+        budget_kind = (
+            "conflicts"
+            if max_conflicts is not None and sat_result.conflicts >= max_conflicts
+            else "seconds"
+        )
+        raise BudgetExhausted(
             "SAT budget exhausted before the validity check completed "
             f"({sat_result.conflicts} conflicts, "
-            f"{sat_result.cpu_seconds:.1f}s)"
+            f"{sat_result.cpu_seconds:.1f}s)",
+            conflicts=sat_result.conflicts,
+            seconds=sat_result.cpu_seconds,
+            budget_kind=budget_kind,
+            timings={
+                "translate": encoded.stats.translate_seconds,
+                "sat": sat_result.cpu_seconds,
+            },
         )
     valid = sat_result.is_unsat
     counterexample = None
@@ -203,7 +216,11 @@ def decode_model(
     encoded: EncodedValidity, model: Dict[int, bool]
 ) -> Dict[str, bool]:
     """Map a SAT model back to named EUFM Boolean/e_ij variables."""
-    assert encoded.tseitin is not None
+    if encoded.tseitin is None:
+        raise EncodingError(
+            "cannot decode a model: the formula collapsed to a constant "
+            "before CNF translation"
+        )
     assignment: Dict[str, bool] = {}
     for var, index in encoded.tseitin.var_map.items():
         if index in model:

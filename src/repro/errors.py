@@ -1,0 +1,97 @@
+"""Structured exception taxonomy for the verification stack.
+
+Every failure a verification run can surface derives from
+:class:`ReproError`, so callers (and in particular the campaign runner in
+:mod:`repro.campaign`) can distinguish *recoverable* failures — a SAT
+budget that ran out and can be escalated, a rewriting pass that did not
+conform — from programming errors, without matching on bare
+``TimeoutError``/``RuntimeError``.
+
+:class:`BudgetExhausted` additionally subclasses :class:`TimeoutError` so
+existing ``except TimeoutError`` call sites keep working; it carries the
+partial statistics of the aborted run (conflicts spent, seconds, and the
+phase ``timings`` accumulated before the budget ran out).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = [
+    "ReproError",
+    "BudgetExhausted",
+    "RewriteFailed",
+    "EncodingError",
+    "SolverError",
+    "CampaignError",
+    "JournalError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all structured verification failures."""
+
+
+class BudgetExhausted(ReproError, TimeoutError):
+    """A conflict or wall-clock budget ran out before a verdict.
+
+    Plays the role of the paper's 4 GB memory limit in the scaling
+    experiments (Sect. 7.1): the run is *inconclusive*, not wrong, and may
+    succeed when retried with a larger budget.
+
+    Attributes:
+        conflicts: SAT conflicts spent before the abort (if known).
+        seconds: wall-clock seconds spent in the SAT solver (if known).
+        budget_kind: ``"conflicts"``, ``"seconds"`` or ``"memory"``.
+        timings: phase timings accumulated before the abort; the driver
+            layers enrich this dict as the exception propagates so the
+            caller still sees simulate/rewrite/translate/sat splits.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        conflicts: Optional[int] = None,
+        seconds: Optional[float] = None,
+        budget_kind: str = "conflicts",
+        timings: Optional[Dict[str, float]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.conflicts = conflicts
+        self.seconds = seconds
+        self.budget_kind = budget_kind
+        self.timings: Dict[str, float] = dict(timings or {})
+
+
+class RewriteFailed(ReproError):
+    """The rewriting engine could not process the update sequences.
+
+    Distinct from a rewriting pass that *flags a bug* (which is a normal
+    :class:`~repro.core.results.VerificationResult` outcome): this error
+    means the diagram did not have the structural shape the rules assume,
+    so the rewriting method itself is inapplicable and the caller should
+    fall back to Positive Equality on the full formula.
+    """
+
+    def __init__(self, message: str, *, entry: Optional[int] = None,
+                 stage: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.entry = entry
+        self.stage = stage
+
+
+class EncodingError(ReproError):
+    """The EUFM-to-CNF translation produced an inconsistent artifact."""
+
+
+class SolverError(ReproError):
+    """A decision procedure was handed malformed input or lost an invariant."""
+
+
+class CampaignError(ReproError):
+    """A campaign was misconfigured (duplicate job ids, empty job list...)."""
+
+
+class JournalError(CampaignError):
+    """A campaign journal is unreadable beyond the tolerated corruption."""

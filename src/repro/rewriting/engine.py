@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import RewriteFailed
 from ..eufm import builder
 from ..eufm.ast import (
     FALSE,
@@ -110,9 +111,15 @@ def rewrite_diagram(
     impl_chain = decompose_chain(artifacts.rf_impl)
     spec_chain = decompose_chain(artifacts.spec_states[0].reg_file)
     if impl_chain.base is not artifacts.initial_rf:
-        raise ValueError("implementation chain does not start at RegFile")
+        raise RewriteFailed(
+            "implementation chain does not start at RegFile",
+            stage="decompose",
+        )
     if spec_chain.base is not artifacts.initial_rf:
-        raise ValueError("specification chain does not start at RegFile")
+        raise RewriteFailed(
+            "specification chain does not start at RegFile",
+            stage="decompose",
+        )
 
     working: List[ChainItem] = list(impl_chain.items)
     spec_items: List[ChainItem] = list(spec_chain.items)

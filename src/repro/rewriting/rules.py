@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..errors import ReproError
 from ..eufm import builder
 from ..eufm.ast import (
     FALSE,
@@ -54,7 +55,7 @@ __all__ = [
 ]
 
 
-class RuleViolation(Exception):
+class RuleViolation(ReproError):
     """A structural check failed; the message names the offending shape."""
 
 

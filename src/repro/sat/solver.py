@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import SolverError
 from .cnf import Cnf
 
 __all__ = ["SatResult", "Solver", "solve_cnf"]
@@ -96,6 +97,12 @@ class Solver:
 
     def _add_clause(self, literals: List[int]) -> bool:
         """Attach a problem clause; False when it makes the instance unsat."""
+        for lit in literals:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise SolverError(
+                    f"clause literal {lit} is outside the variable range "
+                    f"1..{self.num_vars}"
+                )
         literals = sorted(set(literals), key=abs)
         seen = set(literals)
         if any(-lit in seen for lit in literals):

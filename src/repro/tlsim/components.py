@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from ..errors import ReproError
 from ..eufm import builder
 from ..eufm.ast import Expr, Formula, Term
 from .signals import FORMULA, MEMORY, TERM, Signal
@@ -103,7 +104,9 @@ class Latch(Component):
         self.out = out
 
     def evaluate(self, values: Dict[Signal, Expr]) -> Dict[Signal, Expr]:
-        raise RuntimeError("latches are stepped by the simulator, not evaluated")
+        raise ReproError(
+            "latches are stepped by the simulator, not evaluated"
+        )
 
 
 class AndGate(Fn):

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 
+from ..errors import ReproError
 from ..eufm.ast import Expr, Formula, Term
 from .circuit import Circuit
 from .components import Component, Latch
@@ -24,8 +25,13 @@ from .signals import FORMULA, MEMORY, Signal
 __all__ = ["Simulator", "SimulationError", "SimulatorStats"]
 
 
-class SimulationError(RuntimeError):
-    """A signal was read before being driven or initialized."""
+class SimulationError(ReproError, RuntimeError):
+    """A signal was read before being driven or initialized.
+
+    Subclasses ``RuntimeError`` for backward compatibility, but is part of
+    the :class:`~repro.errors.ReproError` taxonomy so the campaign runner
+    treats simulator failures as structured (non-retryable) outcomes.
+    """
 
 
 @dataclass

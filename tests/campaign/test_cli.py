@@ -1,0 +1,93 @@
+"""Tests for the ``python -m repro campaign`` subcommand."""
+
+import json
+
+from repro.__main__ import main as repro_main
+from repro.campaign.cli import main as campaign_main
+
+
+class TestGridCampaigns:
+    def test_grid_campaign_all_proved(self, tmp_path, capsys):
+        journal = str(tmp_path / "c.jsonl")
+        code = campaign_main(["--journal", journal, "--grid", "2x1,2x2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 PROVED" in out
+
+    def test_dispatch_through_python_m_repro(self, tmp_path, capsys):
+        journal = str(tmp_path / "c.jsonl")
+        code = repro_main(["campaign", "--journal", journal, "--grid", "2x1"])
+        assert code == 0
+        assert "PROVED" in capsys.readouterr().out
+
+    def test_bug_grid_exits_one(self, tmp_path, capsys):
+        journal = str(tmp_path / "c.jsonl")
+        code = campaign_main([
+            "--journal", journal, "--grid", "3x1",
+            "--bug", "forward-wrong-source", "--entry", "2",
+        ])
+        assert code == 1
+        assert "BUG_FOUND" in capsys.readouterr().out
+
+    def test_bad_grid_is_a_setup_error(self, tmp_path, capsys):
+        code = campaign_main([
+            "--journal", str(tmp_path / "c.jsonl"), "--grid", "banana",
+        ])
+        assert code == 2
+        assert "campaign error" in capsys.readouterr().err
+
+
+class TestSpecCampaigns:
+    def test_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "jobs.json"
+        spec.write_text(json.dumps([
+            {"job_id": "a", "n_rob": 2, "issue_width": 1},
+            {"job_id": "b", "n_rob": 2, "issue_width": 2},
+        ]))
+        code = campaign_main([
+            "--journal", str(tmp_path / "c.jsonl"), "--spec", str(spec),
+        ])
+        assert code == 0
+        assert "2 PROVED" in capsys.readouterr().out
+
+    def test_bad_spec_shape_is_a_setup_error(self, tmp_path, capsys):
+        spec = tmp_path / "jobs.json"
+        spec.write_text(json.dumps({"not": "a list"}))
+        code = campaign_main([
+            "--journal", str(tmp_path / "c.jsonl"), "--spec", str(spec),
+        ])
+        assert code == 2
+
+
+class TestResumeFlow:
+    def test_second_run_replays_journal(self, tmp_path, capsys):
+        journal = str(tmp_path / "c.jsonl")
+        assert campaign_main(["--journal", journal, "--grid", "2x1"]) == 0
+        capsys.readouterr()
+        # Resume without any job source: jobs come from the journal.
+        code = campaign_main(["--journal", journal])
+        assert code == 0
+        assert "1 replayed from journal" in capsys.readouterr().out
+
+    def test_fresh_discards_previous_journal(self, tmp_path, capsys):
+        journal = str(tmp_path / "c.jsonl")
+        assert campaign_main(["--journal", journal, "--grid", "2x1"]) == 0
+        capsys.readouterr()
+        code = campaign_main(["--journal", journal, "--grid", "2x1", "--fresh"])
+        assert code == 0
+        assert "0 replayed from journal" in capsys.readouterr().out
+
+    def test_resume_with_no_journal_is_a_setup_error(self, tmp_path, capsys):
+        code = campaign_main(["--journal", str(tmp_path / "missing.jsonl")])
+        assert code == 2
+
+    def test_inconclusive_grid_exits_four(self, tmp_path, capsys):
+        # A hopeless budget with degradation disabled: INCONCLUSIVE -> 4.
+        journal = str(tmp_path / "c.jsonl")
+        code = campaign_main([
+            "--journal", journal, "--grid", "3x3",
+            "--method", "positive_equality", "--max-conflicts", "1",
+            "--max-attempts", "2", "--no-degrade", "--quiet",
+        ])
+        assert code == 4
+        assert "INCONCLUSIVE" in capsys.readouterr().out

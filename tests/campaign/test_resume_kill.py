@@ -1,0 +1,84 @@
+"""Acceptance scenario: a campaign of 12 real verification jobs is killed
+mid-run via the fault harness, then resumed from its journal.  Completed
+jobs must not be re-run, and every job must end in a terminal state."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    Fault,
+    FaultKind,
+    FaultPlan,
+    InjectedCrash,
+    Job,
+    Journal,
+)
+from repro.campaign.jobs import TERMINAL_STATES
+from repro.core import verify
+
+
+class CountingVerify:
+    """Real verification, with a per-configuration call counter."""
+
+    def __init__(self):
+        self.calls = {}
+
+    def __call__(self, config, **kwargs):
+        key = (config.n_rob, config.issue_width, kwargs.get("method"))
+        self.calls[key] = self.calls.get(key, 0) + 1
+        return verify(config, **kwargs)
+
+
+def make_jobs():
+    jobs = [
+        Job.build(n, k)
+        for n, k in [(1, 1), (2, 1), (2, 2), (3, 1), (3, 2), (3, 3),
+                     (4, 1), (4, 2), (4, 4), (5, 1)]
+    ]
+    jobs.append(Job.build(4, 2, bug_kind="forward-wrong-source", bug_entry=3))
+    # A Positive-Equality job with a hopeless 1-conflict budget: exhausts
+    # its escalated retries and must land INCONCLUSIVE, not crash.
+    jobs.append(Job.build(3, 3, method="positive_equality", max_conflicts=1))
+    return jobs
+
+
+def test_killed_campaign_resumes_and_reaches_all_terminal_states(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    jobs = make_jobs()
+    assert len(jobs) >= 10
+    kill_at = jobs[6].job_id
+
+    # --- first run: killed while job 7 of 12 is in flight ---------------
+    first = CountingVerify()
+    plan = FaultPlan([Fault(FaultKind.CRASH, job_id=kill_at, attempt=1)])
+    with pytest.raises(InjectedCrash):
+        CampaignRunner(path, fault_plan=plan, verify_fn=first).run(jobs)
+    replay = Journal.load(path)
+    finished_before = set(replay.finished())
+    assert finished_before == {job.job_id for job in jobs[:6]}
+    assert kill_at in replay.in_flight()
+
+    # --- resume: only unfinished jobs run --------------------------------
+    second = CountingVerify()
+    report = CampaignRunner(path, verify_fn=second).run(jobs)
+
+    assert set(report.results) == {job.job_id for job in jobs}
+    for job_id, result in report.results.items():
+        assert result.status in TERMINAL_STATES, job_id
+    assert report.replayed == 6
+    # Jobs finished before the kill were not verified again.
+    for job in jobs[:6]:
+        assert (job.n_rob, job.issue_width, "rewriting") not in second.calls
+    # The in-flight job was re-run on resume.
+    assert second.calls[(4, 1, "rewriting")] == 1
+
+    counts = report.counts()
+    assert counts["PROVED"] == 10
+    assert counts["BUG_FOUND"] == 1
+    assert counts["INCONCLUSIVE"] == 1
+
+    # --- a third run is a pure journal replay ----------------------------
+    third = CountingVerify()
+    report3 = CampaignRunner(path, verify_fn=third).run(jobs)
+    assert third.calls == {}
+    assert report3.replayed == len(jobs)

@@ -1,0 +1,280 @@
+"""Campaign runner tests: budgets, escalation, degradation, resume."""
+
+import pytest
+
+from repro import ProcessorConfig
+from repro.campaign import (
+    CampaignRunner,
+    DegradePolicy,
+    Job,
+    JobResult,
+    Journal,
+    RetryPolicy,
+)
+from repro.core.results import VerificationResult
+from repro.errors import BudgetExhausted, CampaignError, RewriteFailed
+
+
+def proved_result(config, method):
+    return VerificationResult(
+        config=config, method=method, bug=None, correct=True,
+        timings={"total": 0.0},
+    )
+
+
+class SpyVerify:
+    """A verify() stand-in with a programmable failure script."""
+
+    def __init__(self, script=None):
+        #: maps (job-config key, method, call-ordinal per key) to an
+        #: exception instance to raise; everything else returns PROVED.
+        self.script = script or {}
+        self.calls = []
+
+    def __call__(self, config, method="rewriting", bug=None,
+                 criterion="disjunction", max_conflicts=None,
+                 max_seconds=None):
+        key = (config.n_rob, config.issue_width, method)
+        ordinal = sum(1 for c in self.calls if c[0] == key)
+        self.calls.append((key, max_conflicts, max_seconds))
+        exc = self.script.get((key, ordinal))
+        if exc is not None:
+            raise exc
+        return proved_result(config, method)
+
+
+class TestRetryPolicy:
+    def test_budget_escalates_exponentially(self):
+        policy = RetryPolicy(base_conflicts=100, escalation=2.0,
+                             conflicts_cap=350)
+        job = Job.build(2, 1)
+        assert policy.budget_for(job, 1) == (100, None)
+        assert policy.budget_for(job, 2) == (200, None)
+        assert policy.budget_for(job, 3) == (350, None)  # capped
+
+    def test_job_budget_overrides_policy_base(self):
+        policy = RetryPolicy(base_conflicts=100, escalation=3.0)
+        job = Job.build(2, 1, max_conflicts=10, max_seconds=1.0)
+        conflicts, seconds = policy.budget_for(job, 2)
+        assert conflicts == 30
+        assert seconds == pytest.approx(3.0)
+
+    def test_unbounded_budgets(self):
+        policy = RetryPolicy(base_conflicts=None)
+        assert policy.budget_for(Job.build(2, 1), 1) == (None, None)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CampaignError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(CampaignError):
+            RetryPolicy(escalation=0.5)
+
+
+class TestTerminalStates:
+    def test_all_jobs_proved(self, tmp_path):
+        runner = CampaignRunner(str(tmp_path / "j.jsonl"))
+        report = runner.run([Job.build(2, 1), Job.build(2, 2)])
+        assert report.counts() == {"PROVED": 2}
+        assert report.exit_code() == 0
+
+    def test_buggy_job_is_bug_found(self, tmp_path):
+        runner = CampaignRunner(str(tmp_path / "j.jsonl"))
+        job = Job.build(3, 1, bug_kind="forward-wrong-source", bug_entry=2)
+        report = runner.run([job])
+        result = report.results[job.job_id]
+        assert result.status == "BUG_FOUND"
+        assert result.suspected_entry == 2
+        assert report.exit_code() == 1
+
+    def test_real_budget_exhaustion_goes_inconclusive(self, tmp_path):
+        # Positive Equality on (3,3) conflicts immediately; with a 1-conflict
+        # base budget and two attempts every budget is exhausted.
+        job = Job.build(3, 3, method="positive_equality", max_conflicts=1)
+        runner = CampaignRunner(
+            str(tmp_path / "j.jsonl"),
+            retry=RetryPolicy(max_attempts=2, escalation=2.0),
+            degrade=DegradePolicy(fallback_method=None),
+        )
+        report = runner.run([job])
+        result = report.results[job.job_id]
+        assert result.status == "INCONCLUSIVE"
+        assert result.attempts == 2
+        assert "BudgetExhausted" in result.detail
+        assert report.exit_code() == 4
+
+    def test_invalid_config_is_inconclusive_not_crash(self, tmp_path):
+        bad = Job(job_id="bad", n_rob=2, issue_width=8)  # width > ROB
+        good = Job.build(2, 1)
+        report = CampaignRunner(str(tmp_path / "j.jsonl")).run([bad, good])
+        assert report.results["bad"].status == "INCONCLUSIVE"
+        assert report.results[good.job_id].status == "PROVED"
+
+
+class TestEscalation:
+    def test_retry_until_budget_suffices(self, tmp_path):
+        job = Job.build(4, 2, max_conflicts=10)
+        key = (4, 2, "rewriting")
+        spy = SpyVerify(script={
+            (key, 0): BudgetExhausted("too small", conflicts=10),
+            (key, 1): BudgetExhausted("still too small", conflicts=20),
+        })
+        runner = CampaignRunner(
+            str(tmp_path / "j.jsonl"),
+            retry=RetryPolicy(max_attempts=3, escalation=2.0),
+            verify_fn=spy,
+        )
+        report = runner.run([job])
+        result = report.results[job.job_id]
+        assert result.status == "PROVED"
+        assert result.attempts == 3
+        # Budgets escalated 10 -> 20 -> 40.
+        assert [c[1] for c in spy.calls] == [10, 20, 40]
+
+    def test_memory_error_follows_the_retry_path(self, tmp_path):
+        job = Job.build(4, 2)
+        key = (4, 2, "rewriting")
+        spy = SpyVerify(script={(key, 0): MemoryError("simulated 4 GB kill")})
+        report = CampaignRunner(
+            str(tmp_path / "j.jsonl"), verify_fn=spy
+        ).run([job])
+        result = report.results[job.job_id]
+        assert result.status == "PROVED"
+        assert result.attempts == 2
+
+
+class TestDegradation:
+    def test_rewriting_exhaustion_falls_back_to_positive_equality(
+        self, tmp_path
+    ):
+        job = Job.build(4, 2)
+        key = (4, 2, "rewriting")
+        spy = SpyVerify(script={
+            (key, i): BudgetExhausted("rewriting attempt dies")
+            for i in range(3)
+        })
+        report = CampaignRunner(
+            str(tmp_path / "j.jsonl"),
+            retry=RetryPolicy(max_attempts=3),
+            verify_fn=spy,
+        ).run([job])
+        result = report.results[job.job_id]
+        assert result.status == "PROVED"
+        assert result.method == "positive_equality"
+        assert result.attempts == 4  # 3 rewriting + 1 fallback
+
+    def test_rewrite_failure_degrades_without_retrying(self, tmp_path):
+        job = Job.build(4, 2)
+        key = (4, 2, "rewriting")
+        spy = SpyVerify(script={
+            (key, 0): RewriteFailed("no structure", stage="decompose"),
+        })
+        report = CampaignRunner(
+            str(tmp_path / "j.jsonl"), verify_fn=spy
+        ).run([job])
+        result = report.results[job.job_id]
+        assert result.status == "PROVED"
+        assert result.method == "positive_equality"
+        assert result.attempts == 2  # structural failure is not retried
+
+    def test_no_degrade_policy_records_inconclusive(self, tmp_path):
+        job = Job.build(4, 2)
+        key = (4, 2, "rewriting")
+        spy = SpyVerify(script={
+            (key, 0): RewriteFailed("no structure", stage="decompose"),
+        })
+        report = CampaignRunner(
+            str(tmp_path / "j.jsonl"),
+            degrade=DegradePolicy(fallback_method=None),
+            verify_fn=spy,
+        ).run([job])
+        assert report.results[job.job_id].status == "INCONCLUSIVE"
+        assert "RewriteFailed" in report.results[job.job_id].detail
+
+    def test_positive_equality_jobs_never_degrade(self, tmp_path):
+        job = Job.build(3, 1, method="positive_equality")
+        key = (3, 1, "positive_equality")
+        spy = SpyVerify(script={
+            (key, i): BudgetExhausted("dies") for i in range(3)
+        })
+        report = CampaignRunner(
+            str(tmp_path / "j.jsonl"),
+            retry=RetryPolicy(max_attempts=3),
+            verify_fn=spy,
+        ).run([job])
+        assert report.results[job.job_id].status == "INCONCLUSIVE"
+
+
+class TestResume:
+    def test_finished_jobs_are_never_rerun(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        jobs = [Job.build(2, 1), Job.build(2, 2)]
+        first = SpyVerify()
+        CampaignRunner(path, verify_fn=first).run(jobs)
+        assert len(first.calls) == 2
+        second = SpyVerify()
+        report = CampaignRunner(path, verify_fn=second).run(jobs)
+        assert second.calls == []
+        assert report.replayed == 2
+        assert all(r.from_journal for r in report.results.values())
+
+    def test_resume_from_journal_without_job_list(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        jobs = [Job.build(2, 1), Job.build(3, 1)]
+        CampaignRunner(path, verify_fn=SpyVerify()).run(jobs)
+        report = CampaignRunner(path, verify_fn=SpyVerify()).run()
+        assert set(report.results) == {j.job_id for j in jobs}
+
+    def test_resume_keeps_escalation_schedule(self, tmp_path):
+        # Journal records two failed attempts; the resumed run must start
+        # at attempt 3 with the twice-escalated budget.
+        path = str(tmp_path / "j.jsonl")
+        job = Job.build(4, 2, max_conflicts=10)
+        with Journal(path) as journal:
+            journal.append({"event": "enqueue", "job": job.to_dict()})
+            for attempt in (1, 2):
+                journal.append({"event": "start", "job_id": job.job_id,
+                                "attempt": attempt, "method": "rewriting"})
+                journal.append({"event": "attempt_failed",
+                                "job_id": job.job_id, "attempt": attempt,
+                                "method": "rewriting",
+                                "error": "BudgetExhausted", "detail": "x"})
+        spy = SpyVerify()
+        report = CampaignRunner(
+            path, retry=RetryPolicy(max_attempts=3, escalation=2.0),
+            verify_fn=spy,
+        ).run()
+        assert report.results[job.job_id].status == "PROVED"
+        assert [c[1] for c in spy.calls] == [40]  # attempt 3 only
+
+    def test_empty_journal_resume_is_an_error(self, tmp_path):
+        with pytest.raises(CampaignError):
+            CampaignRunner(str(tmp_path / "j.jsonl")).run()
+
+    def test_duplicate_job_ids_rejected(self, tmp_path):
+        with pytest.raises(CampaignError):
+            CampaignRunner(str(tmp_path / "j.jsonl")).run(
+                [Job.build(2, 1), Job.build(2, 1)]
+            )
+
+
+class TestJobSerialization:
+    def test_roundtrip(self):
+        job = Job.build(8, 2, bug_kind="forward-stale-result", bug_entry=5,
+                        max_conflicts=123)
+        assert Job.from_dict(job.to_dict()) == job
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CampaignError):
+            Job.from_dict({"job_id": "x", "n_rob": 2, "issue_width": 1,
+                           "bogus": True})
+
+    def test_result_requires_terminal_state(self):
+        with pytest.raises(CampaignError):
+            JobResult(job_id="x", status="RUNNING", method="rewriting",
+                      attempts=1)
+
+    def test_config_and_bug_materialize(self):
+        job = Job.build(8, 2, bug_kind="forward-wrong-source", bug_entry=3)
+        assert job.config() == ProcessorConfig(n_rob=8, issue_width=2)
+        assert job.bug().entry == 3
+        assert Job.build(2, 1).bug() is None

@@ -53,6 +53,27 @@ class TestMain:
         )
         assert code == 2
 
+    def test_max_seconds_flag(self, capsys):
+        code = main(
+            ["--rob", "3", "--width", "3", "--method", "positive_equality",
+             "--max-seconds", "0.05"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "budget exhausted" in err
+        assert "Traceback" not in err
+
+    def test_max_conflicts_flag(self, capsys):
+        code = main(
+            ["--rob", "3", "--width", "3", "--method", "positive_equality",
+             "--max-conflicts", "1"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "budget exhausted" in err
+        assert "conflicts" in err
+        assert "campaign" in err  # points at the escalating runner
+
     def test_retire_width_flag(self, capsys):
         code = main(["--rob", "6", "--width", "3", "--retire-width", "2"])
         assert code == 0
