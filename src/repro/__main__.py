@@ -12,9 +12,14 @@ journal; see :mod:`repro.campaign.cli`)::
 
     python -m repro campaign --journal camp.jsonl --grid 4x2,8x2,16x4
 
+Lint mode (soundness analyzers; see :mod:`repro.analysis.cli`)::
+
+    python -m repro lint
+    python -m repro lint --grid 3x2 --json
+
 Exit status of a single run: 0 — the design was proved correct; 1 — a bug
 was found; 2 — the SAT budget was exhausted before a verdict; 3 — another
-structured verification error.
+structured verification error (including strict-mode soundness findings).
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ import argparse
 import sys
 
 from .core import verify
-from .errors import BudgetExhausted, ReproError
+from .errors import AnalysisError, BudgetExhausted, ReproError
 from .processor.bugs import Bug, BugKind
 from .processor.params import ProcessorConfig
 
@@ -98,6 +103,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="deprecated alias for --max-seconds",
     )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run the soundness analyzers and report their findings",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "implies --analyze; exit with status 3 when the analyzers "
+            "report any error-level finding"
+        ),
+    )
     return parser
 
 
@@ -108,6 +126,10 @@ def main(argv=None) -> int:
         from .campaign.cli import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ProcessorConfig(
         n_rob=args.rob,
@@ -128,7 +150,18 @@ def main(argv=None) -> int:
             criterion=args.criterion,
             max_conflicts=args.max_conflicts,
             max_seconds=max_seconds,
+            analyze=args.analyze or args.strict,
+            strict=args.strict,
         )
+    except AnalysisError as exc:
+        from .core.reporting import render_diagnostics
+
+        print(
+            render_diagnostics(exc.diagnostics, title="Soundness findings"),
+            file=sys.stderr,
+        )
+        print(f"strict analysis failed: {exc}", file=sys.stderr)
+        return 3
     except BudgetExhausted as exc:
         spent = []
         if exc.conflicts is not None:
@@ -148,6 +181,10 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 3
     print(result.summary())
+    if result.diagnostics:
+        from .core.reporting import render_diagnostics
+
+        print(render_diagnostics(result.diagnostics))
     return 0 if result.correct else 1
 
 

@@ -127,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail on mid-file journal corruption instead of skipping it",
     )
     parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run the soundness analyzers on every job and record their "
+        "findings in the journal",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
     return parser
@@ -199,6 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             ),
             log=log,
             strict_journal=args.strict_journal,
+            analyze=args.analyze,
         )
         report = runner.run(jobs)
     except (CampaignError, JournalError, OSError) as exc:

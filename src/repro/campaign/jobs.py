@@ -11,7 +11,7 @@ produces for every job; its ``status`` is always one of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.results import VerificationResult
 from ..errors import CampaignError
@@ -122,6 +122,11 @@ class JobResult:
     timings: Dict[str, float] = field(default_factory=dict)
     #: CNF statistics of the deciding run (Tables 3/5 layout), if any.
     stats: Dict[str, float] = field(default_factory=dict)
+    #: serialized soundness findings of the deciding run (dicts in the
+    #: :meth:`repro.analysis.diagnostics.Diagnostic.to_dict` layout);
+    #: populated when the campaign runs with ``analyze=True`` and
+    #: journaled with the finish record so they survive crash-and-resume.
+    diagnostics: List[Dict[str, Any]] = field(default_factory=list)
     #: True when this result was replayed from the journal, not re-run.
     from_journal: bool = False
 
@@ -141,6 +146,10 @@ class JobResult:
             status = "BUG_FOUND"
             detail = result.failure_detail or "SAT counterexample"
         stats = result.encoding_stats
+        diagnostics = [
+            diag.to_dict() if hasattr(diag, "to_dict") else dict(diag)
+            for diag in getattr(result, "diagnostics", []) or []
+        ]
         return cls(
             job_id=job.job_id,
             status=status,
@@ -150,6 +159,7 @@ class JobResult:
             suspected_entry=result.suspected_entry,
             timings=dict(result.timings),
             stats=dict(stats.as_row()) if stats is not None else {},
+            diagnostics=diagnostics,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -162,6 +172,7 @@ class JobResult:
             "suspected_entry": self.suspected_entry,
             "timings": self.timings,
             "stats": self.stats,
+            "diagnostics": self.diagnostics,
         }
 
     @classmethod
@@ -175,4 +186,5 @@ class JobResult:
             suspected_entry=data.get("suspected_entry"),
             timings=dict(data.get("timings", {})),
             stats=dict(data.get("stats", {})),
+            diagnostics=list(data.get("diagnostics", [])),
         )

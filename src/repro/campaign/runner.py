@@ -157,6 +157,10 @@ class CampaignRunner:
         on_result: callback invoked with ``(job, result)`` after every job
             reaches a terminal state (including journal replays).
         log: line sink for progress messages (e.g. ``print``).
+        analyze: run the :mod:`repro.analysis` soundness analyzers on
+            every verification; their findings ride in
+            :attr:`JobResult.diagnostics` and the journal's finish
+            records, so they survive crash-and-resume.
     """
 
     def __init__(
@@ -169,6 +173,7 @@ class CampaignRunner:
         on_result: Optional[Callable[[Job, JobResult], None]] = None,
         log: Optional[Callable[[str], None]] = None,
         strict_journal: bool = False,
+        analyze: bool = False,
     ) -> None:
         if verify_fn is None:
             from ..core.verifier import verify as verify_fn
@@ -180,6 +185,7 @@ class CampaignRunner:
         self.on_result = on_result
         self._log = log or (lambda message: None)
         self.strict_journal = strict_journal
+        self.analyze = analyze
 
     # ------------------------------------------------------------------
 
@@ -312,6 +318,9 @@ class CampaignRunner:
             try:
                 if self.fault_plan is not None:
                     self.fault_plan.fire(job.job_id, attempt, method, journal)
+                # Only forward the analyze kwarg when it is on, so custom
+                # verify_fn overrides keep their narrower signature.
+                extra = {"analyze": True} if self.analyze else {}
                 result = self.verify_fn(
                     job.config(),
                     method=method,
@@ -319,6 +328,7 @@ class CampaignRunner:
                     criterion=job.criterion,
                     max_conflicts=max_conflicts,
                     max_seconds=max_seconds,
+                    **extra,
                 )
             except (BudgetExhausted, MemoryError) as exc:
                 # Recoverable: the next attempt gets an escalated budget

@@ -3,13 +3,17 @@
 The paper's Tables 1–5 are matrices of reorder-buffer sizes (rows) by
 issue/retire widths (columns); impossible configurations (width > size)
 are printed as a dash.  :func:`render_matrix` reproduces that layout.
+
+:func:`render_diagnostics` is the human-readable sink for the soundness
+analyzers of :mod:`repro.analysis` (``python -m repro lint`` and the
+``--analyze`` mode of the single-run CLI).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["render_matrix", "render_rows"]
+__all__ = ["render_matrix", "render_rows", "render_diagnostics"]
 
 
 def render_matrix(
@@ -42,6 +46,31 @@ def render_rows(
     """Render a simple header + rows table."""
     table = [list(map(str, header))] + [list(map(str, row)) for row in rows]
     return _tabulate(title, table)
+
+
+def render_diagnostics(diagnostics: Sequence, title: str = "Findings") -> str:
+    """Render analyzer :class:`~repro.analysis.diagnostics.Diagnostic`
+    records as a severity-sorted table, with a per-severity tally line."""
+    from ..analysis.diagnostics import sort_report, summarize
+
+    ordered = sort_report(diagnostics)
+    counts = summarize(ordered)
+    tally = ", ".join(
+        f"{count} {severity}" for severity, count in counts.items() if count
+    ) or "no findings"
+    if not ordered:
+        return f"{title}: {tally}"
+    rows = [
+        (diag.severity, diag.stage, diag.check, diag.subject or "-",
+         diag.message)
+        for diag in ordered
+    ]
+    table = render_rows(
+        f"{title} ({tally})",
+        ("severity", "stage", "check", "subject", "message"),
+        rows,
+    )
+    return table
 
 
 def _tabulate(title: str, rows: List[List[str]]) -> str:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..encode.evc import EncodingStats, ValidityResult
 from ..processor.bugs import Bug
@@ -32,6 +32,9 @@ class VerificationResult:
     timings: Dict[str, float] = field(default_factory=dict)
     #: counterexample assignment for incorrect designs (named variables).
     counterexample: Optional[Dict[str, bool]] = None
+    #: soundness findings from ``verify(analyze=True)``
+    #: (:class:`~repro.analysis.diagnostics.Diagnostic` records).
+    diagnostics: List = field(default_factory=list)
 
     @property
     def encoding_stats(self) -> Optional[EncodingStats]:

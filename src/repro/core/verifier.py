@@ -20,7 +20,7 @@ import time
 from typing import Optional
 
 from ..encode.evc import check_validity
-from ..errors import BudgetExhausted
+from ..errors import AnalysisError, BudgetExhausted
 from ..processor.bugs import Bug
 from ..processor.correctness import build_correctness_formula, run_diagram
 from ..processor.params import ProcessorConfig
@@ -41,6 +41,28 @@ def _enrich_budget_error(
     exc.timings["total"] = time.perf_counter() - start
 
 
+def _run_analysis(
+    result: VerificationResult, timings: dict, start: float, strict: bool
+) -> VerificationResult:
+    """Attach soundness diagnostics; in strict mode, errors raise."""
+    from ..analysis.diagnostics import errors_in
+    from ..analysis.pipeline import analyze_verification
+
+    analyze_start = time.perf_counter()
+    result.diagnostics = analyze_verification(result)
+    timings["analyze"] = time.perf_counter() - analyze_start
+    timings["total"] = time.perf_counter() - start
+    if strict:
+        errors = errors_in(result.diagnostics)
+        if errors:
+            raise AnalysisError(
+                f"soundness analysis found {len(errors)} error(s): "
+                + "; ".join(diag.render() for diag in errors[:3]),
+                diagnostics=result.diagnostics,
+            )
+    return result
+
+
 def verify(
     config: ProcessorConfig,
     method: str = "rewriting",
@@ -48,6 +70,8 @@ def verify(
     criterion: str = "disjunction",
     max_conflicts: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    analyze: bool = False,
+    strict: bool = False,
 ) -> VerificationResult:
     """Formally verify one out-of-order processor configuration.
 
@@ -63,9 +87,16 @@ def verify(
             4 GB memory limit in the scaling experiments.  The exception's
             ``timings`` dict still carries the phase timings accumulated
             before the abort.
+        analyze: run the :mod:`repro.analysis` soundness analyzers over
+            the run's artifacts and attach their findings to
+            ``result.diagnostics``.
+        strict: implies ``analyze``; raise
+            :class:`repro.errors.AnalysisError` when any error-level
+            finding is present instead of returning normally.
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; use one of {METHODS}")
+    analyze = analyze or strict
     start = time.perf_counter()
     artifacts = run_diagram(config, bug=bug)
     timings = {"simulate": artifacts.simulate_seconds}
@@ -76,7 +107,7 @@ def verify(
         if not rewrite.succeeded:
             timings["total"] = time.perf_counter() - start
             failure = rewrite.failure
-            return VerificationResult(
+            result = VerificationResult(
                 config=config,
                 method=method,
                 bug=bug,
@@ -86,6 +117,9 @@ def verify(
                 rewrite=rewrite,
                 timings=timings,
             )
+            if analyze:
+                return _run_analysis(result, timings, start, strict)
+            return result
         try:
             validity = check_validity(
                 rewrite.reduced_formula,
@@ -99,7 +133,7 @@ def verify(
         timings["translate"] = validity.encoded.stats.translate_seconds
         timings["sat"] = validity.solve_seconds
         timings["total"] = time.perf_counter() - start
-        return VerificationResult(
+        result = VerificationResult(
             config=config,
             method=method,
             bug=bug,
@@ -109,6 +143,9 @@ def verify(
             timings=timings,
             counterexample=validity.counterexample,
         )
+        if analyze:
+            return _run_analysis(result, timings, start, strict)
+        return result
 
     formula = build_correctness_formula(artifacts, criterion=criterion)
     try:
@@ -124,7 +161,7 @@ def verify(
     timings["translate"] = validity.encoded.stats.translate_seconds
     timings["sat"] = validity.solve_seconds
     timings["total"] = time.perf_counter() - start
-    return VerificationResult(
+    result = VerificationResult(
         config=config,
         method=method,
         bug=bug,
@@ -133,3 +170,6 @@ def verify(
         timings=timings,
         counterexample=validity.counterexample,
     )
+    if analyze:
+        return _run_analysis(result, timings, start, strict)
+    return result

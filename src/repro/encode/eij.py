@@ -18,8 +18,9 @@ transitivity constraints of :mod:`repro.encode.transitivity` over the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..errors import EncodingError
 from ..eufm import builder
 from ..eufm.ast import (
     FALSE,
@@ -56,13 +57,23 @@ class EijResult:
         return len(self.eij_vars)
 
 
-def encode_equalities(phi: Formula, g_vars: Set[TermVar]) -> EijResult:
+def encode_equalities(
+    phi: Formula,
+    g_vars: Set[TermVar],
+    known_vars: Optional[Set[TermVar]] = None,
+) -> EijResult:
     """Encode every equation in ``phi`` propositionally.
 
     ``g_vars`` is the set of general term variables (original g-variables
     from the polarity classification plus the general fresh variables from
     UF elimination); every other term variable is treated as a p-variable
     under maximal diversity.
+
+    ``known_vars``, when given, is the set of term variables the polarity
+    classification actually saw.  Encoding an equality over a variable
+    outside it raises :class:`~repro.errors.EncodingError`: such a
+    variable was silently defaulted to a p-variable without the
+    classification ever justifying maximal diversity over it.
     """
     result = EijResult(formula=phi)
     # Cache of pairwise term-equality formulas, keyed on unordered pairs.
@@ -72,6 +83,14 @@ def encode_equalities(phi: Formula, g_vars: Set[TermVar]) -> EijResult:
     def var_equality(a: TermVar, b: TermVar) -> Formula:
         if a is b:
             return TRUE
+        if known_vars is not None:
+            for var in (a, b):
+                if var not in known_vars:
+                    raise EncodingError(
+                        f"equality over variable {var.name!r} which the "
+                        "polarity classification never saw; its implicit "
+                        "p-variable default is unjustified"
+                    )
         key = frozenset((a, b))
         if a not in g_vars or b not in g_vars:
             result.diverse_pairs.add(key)

@@ -76,6 +76,9 @@ class EncodedValidity:
     propositional: Formula
     tseitin: Optional[TseitinResult] = None
     memory: Optional[MemoryElimResult] = None
+    #: the memory-free formula the polarity classification ran on (the
+    #: input to UF elimination); audited by :mod:`repro.analysis`.
+    memory_free: Optional[Formula] = None
     polarity: Optional[PolarityInfo] = None
     uf_elim: Optional[UFElimResult] = None
     eij: Optional[EijResult] = None
@@ -127,7 +130,11 @@ def encode_validity(
     uf_result = eliminate_uf(phi_no_mem, polarity)
 
     g_vars: Set[TermVar] = set(polarity.g_vars) | uf_result.fresh_g_vars
-    eij_result = encode_equalities(uf_result.formula, g_vars)
+    known_vars: Set[TermVar] = set(term_variables(phi_no_mem))
+    known_vars.update(uf_result.fresh_term_vars)
+    eij_result = encode_equalities(
+        uf_result.formula, g_vars, known_vars=known_vars
+    )
     trans_result = transitivity_constraints(eij_result.eij_vars)
 
     prop = eij_result.formula
@@ -154,6 +161,7 @@ def encode_validity(
         propositional=prop,
         tseitin=tseitin_result,
         memory=memory_result,
+        memory_free=phi_no_mem,
         polarity=polarity,
         uf_elim=uf_result,
         eij=eij_result,

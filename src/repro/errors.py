@@ -23,6 +23,7 @@ __all__ = [
     "RewriteFailed",
     "EncodingError",
     "SolverError",
+    "AnalysisError",
     "CampaignError",
     "JournalError",
 ]
@@ -87,6 +88,19 @@ class EncodingError(ReproError):
 
 class SolverError(ReproError):
     """A decision procedure was handed malformed input or lost an invariant."""
+
+
+class AnalysisError(ReproError):
+    """The soundness analyzer found error-level findings in strict mode.
+
+    Attributes:
+        diagnostics: the :class:`~repro.analysis.diagnostics.Diagnostic`
+            records that triggered the error (error-level findings first).
+    """
+
+    def __init__(self, message: str, diagnostics=()) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
 
 
 class CampaignError(ReproError):

@@ -91,6 +91,9 @@ class RewriteResult:
     #: the specification-side Register Files (0..k steps) over the same
     #: fresh variable.
     reduced_spec_rfs: List[Term] = field(default_factory=list)
+    #: how many times each rule fired, keyed by rule name — the tally
+    #: journaled by campaigns and reported by ``repro lint``.
+    rules_applied: Dict[str, int] = field(default_factory=dict)
     rewrite_seconds: float = 0.0
 
     @property
@@ -126,7 +129,8 @@ def rewrite_diagram(
 
     for entry in range(1, n + 1):
         failure = _process_entry(
-            entry, l, proc_vars, working, spec_items, spec_chain
+            entry, l, proc_vars, working, spec_items, spec_chain,
+            result.rules_applied,
         )
         if failure is not None:
             result.failure = failure
@@ -148,6 +152,12 @@ def rewrite_diagram(
     return result
 
 
+def _tally(rules_applied: Optional[Dict[str, int]], rule: str,
+           count: int = 1) -> None:
+    if rules_applied is not None and count:
+        rules_applied[rule] = rules_applied.get(rule, 0) + count
+
+
 def _process_entry(
     entry: int,
     retire_width: int,
@@ -155,6 +165,7 @@ def _process_entry(
     working: List[ChainItem],
     spec_items: List[ChainItem],
     spec_chain: UpdateChain,
+    rules_applied: Optional[Dict[str, int]] = None,
 ) -> Optional[RewriteFailure]:
     """Rules 1–4 for one initial ROB entry; mutates the working lists."""
     valid_var = proc_vars[f"Valid{entry}"]
@@ -202,6 +213,7 @@ def _process_entry(
                     f"{getattr(between.addr, 'name', between.addr)} — "
                     "contexts overlap (in-order retirement violated?)",
                 )
+        _tally(rules_applied, "reorder", second_pos - first_pos - 1)
         # --- Rule 2: merge the complementary pair -------------------------
         merged = merge_contexts(retire_item.context, flush_item.context)
         if merged is None:
@@ -217,6 +229,7 @@ def _process_entry(
                 "merge",
                 f"merged context is not Valid{entry}",
             )
+        _tally(rules_applied, "merge")
         impl_data = builder.ite_term(residual, retire_item.data, flush_item.data)
         flush_prev = flush_item.prev_state
         removals = [first_pos, second_pos]
@@ -248,14 +261,17 @@ def _process_entry(
         valid_var,
         vres_var,
         result_var,
+        rules_applied,
     )
     if failure is not None:
         return failure
+    _tally(rules_applied, "data")
 
     # --- Rule 4: remove the proven-equal updates -------------------------
     for index in sorted(removals, reverse=True):
         del working[index]
     del spec_items[0]
+    _tally(rules_applied, "remove", len(removals) + 1)
     return None
 
 
@@ -268,6 +284,7 @@ def _prove_data_equal(
     valid_var: BoolVar,
     vres_var: BoolVar,
     result_var: TermVar,
+    rules_applied: Optional[Dict[str, int]] = None,
 ) -> Optional[RewriteFailure]:
     """Rule 3: the data written along both sides is equal under Valid_i."""
     # Reads along the implementation side refer to the state before this
@@ -339,6 +356,7 @@ def _prove_data_equal(
             try:
                 prove_forwarding_matches_read(forwarded, spec_read, candidate)
                 proved = True
+                _tally(rules_applied, "forwarding")
                 break
             except RuleViolation as exc:
                 last_violation = str(exc)

@@ -49,6 +49,26 @@ class Cnf:
                 unique.append(lit)
         self.clauses.append(tuple(unique))
 
+    def dedupe(self) -> int:
+        """Drop repeated clauses, keeping first occurrences.
+
+        Clauses are compared as literal *sets*, so permutations of the
+        same clause collapse too.  An empty clause is kept (one copy) —
+        it is the unsatisfiable verdict, not noise.  Returns the number
+        of clauses removed.
+        """
+        seen = set()
+        kept: List[Tuple[int, ...]] = []
+        for clause in self.clauses:
+            key = frozenset(clause)
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(clause)
+        removed = len(self.clauses) - len(kept)
+        self.clauses = kept
+        return removed
+
     @property
     def num_clauses(self) -> int:
         return len(self.clauses)

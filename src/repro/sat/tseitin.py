@@ -194,4 +194,7 @@ def cnf_for_satisfiability(
             result.cnf.clauses.append(())
         return result
     result.cnf.add_clause([result.root_literal])
+    # The solver should never see the same clause twice (shared gate
+    # structure can reproduce a definition clause verbatim).
+    result.cnf.dedupe()
     return result

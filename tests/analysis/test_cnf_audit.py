@@ -1,0 +1,123 @@
+"""CNF clause-hygiene and e_ij/transitivity completeness audits."""
+
+from repro.analysis import ERROR, audit_cnf, audit_eij_transitivity
+from repro.encode.eij import EijResult, encode_equalities
+from repro.encode.evc import encode_validity
+from repro.encode.transitivity import (
+    TransitivityResult,
+    transitivity_constraints,
+)
+from repro.eufm import and_, bvar, classify, eq, not_, or_, tvar
+from repro.sat.tseitin import cnf_for_satisfiability, tseitin
+
+
+def errors(diagnostics):
+    return [d for d in diagnostics if d.severity == ERROR]
+
+
+def checks(diagnostics):
+    return {d.check for d in diagnostics}
+
+
+def _sample():
+    p, q, r = bvar("p"), bvar("q"), bvar("r")
+    return cnf_for_satisfiability(or_(and_(p, q), and_(not_(p), r)))
+
+
+class TestCnfAudit:
+    def test_clean_translation_is_clean(self):
+        findings = audit_cnf(_sample())
+        assert checks(findings) == {"cnf.audit-clean"}
+
+    def test_duplicate_clause_is_flagged(self):
+        result = _sample()
+        result.cnf.clauses.append(result.cnf.clauses[0])
+        assert "cnf.duplicate-clause" in checks(audit_cnf(result))
+
+    def test_tautological_clause_is_flagged(self):
+        result = _sample()
+        result.cnf.clauses.append((1, -1))
+        assert "cnf.tautological-clause" in checks(audit_cnf(result))
+
+    def test_unallocated_variable_is_error(self):
+        result = _sample()
+        result.cnf.clauses.append((result.cnf.num_vars + 7,))
+        findings = audit_cnf(result)
+        assert "cnf.unallocated-variable" in checks(errors(findings))
+
+    def test_missing_root_unit_is_error(self):
+        # Raw tseitin() emits definition clauses only; used for
+        # satisfiability without asserting the root, it constrains nothing.
+        result = tseitin(or_(bvar("p"), bvar("q")))
+        findings = audit_cnf(result, expect_root_unit=True)
+        assert "cnf.root-not-asserted" in checks(errors(findings))
+
+    def test_var_map_name_mismatch_is_error(self):
+        result = _sample()
+        index = next(iter(result.var_map.values()))
+        result.cnf.names[index] = "imposter"
+        assert "cnf.var-map-name-mismatch" in checks(audit_cnf(result))
+
+    def test_named_variable_missing_from_var_map_is_warning(self):
+        result = _sample()
+        result.cnf.new_var("ghost")
+        findings = audit_cnf(result)
+        assert "cnf.named-var-not-in-var-map" in checks(findings)
+        assert not errors(findings)
+
+    def test_solver_handoff_is_dedupe_clean_after_tseitin(self):
+        # Satellite check: after Cnf.dedupe() in cnf_for_satisfiability,
+        # the auditor must find zero duplicate or tautological clauses.
+        findings = audit_cnf(_sample())
+        assert "cnf.duplicate-clause" not in checks(findings)
+        assert "cnf.tautological-clause" not in checks(findings)
+
+    def test_pipeline_encoding_is_dedupe_clean(self):
+        phi = or_(not_(eq(tvar("x"), tvar("y"))),
+                  eq(tvar("y"), tvar("z")))
+        encoded = encode_validity(phi, memory_mode="precise")
+        assert encoded.tseitin is not None
+        findings = audit_cnf(encoded.tseitin)
+        assert "cnf.duplicate-clause" not in checks(findings)
+        assert "cnf.tautological-clause" not in checks(findings)
+
+
+def _triangle_encoding():
+    x, y, z = tvar("tx"), tvar("ty"), tvar("tz")
+    phi = not_(and_(eq(x, y), eq(y, z), eq(x, z)))
+    info = classify(phi)
+    eij = encode_equalities(phi, info.g_vars)
+    return eij, transitivity_constraints(eij.eij_vars)
+
+
+class TestEijTransitivityAudit:
+    def test_complete_closure_is_clean(self):
+        eij, trans = _triangle_encoding()
+        assert trans.triangles
+        findings = audit_eij_transitivity(eij, trans)
+        assert checks(findings) == {"eij.transitivity-clean"}
+
+    def test_missing_triangle_is_error(self):
+        eij, trans = _triangle_encoding()
+        trans.triangles.pop()
+        findings = audit_eij_transitivity(eij, trans)
+        assert "eij.missing-transitivity-triangle" in checks(errors(findings))
+
+    def test_misnamed_eij_variable_is_error(self):
+        x, y = tvar("tx"), tvar("ty")
+        eij = EijResult(
+            formula=bvar("whatever"),
+            eij_vars={frozenset((x, y)): bvar("not-the-convention")},
+        )
+        findings = audit_eij_transitivity(eij, None)
+        assert "eij.misnamed-variable" in checks(errors(findings))
+
+    def test_triangle_over_unknown_edge_is_error(self):
+        x, y, z = tvar("tx"), tvar("ty"), tvar("tz")
+        eij = EijResult(
+            formula=bvar("whatever"),
+            eij_vars={frozenset((x, y)): bvar("eij!tx!ty")},
+        )
+        trans = TransitivityResult(triangles=[(x, y, z)])
+        findings = audit_eij_transitivity(eij, trans)
+        assert "eij.triangle-over-unknown-edge" in checks(errors(findings))

@@ -1,0 +1,221 @@
+"""Independent polarity re-derivation vs. the production classifier."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import ProcessorConfig
+from repro.analysis import (
+    ERROR,
+    analyze_config,
+    audit_diversity,
+    cross_check_polarity,
+    derive_polarity,
+)
+from repro.encode.eij import encode_equalities
+from repro.eufm import (
+    and_,
+    bvar,
+    classify,
+    eq,
+    ite_formula,
+    ite_term,
+    not_,
+    or_,
+    read,
+    tvar,
+    uf,
+)
+from repro.eufm.polarity import PolarityInfo
+from repro.eufm.traversal import term_variables
+
+
+def errors(diagnostics):
+    return [d for d in diagnostics if d.severity == ERROR]
+
+
+class TestDerivePolarity:
+    def test_positive_equation_not_general(self):
+        info = derive_polarity(eq(tvar("x"), tvar("y")))
+        assert not info.general_equations
+        assert not info.g_vars
+
+    def test_negated_equation_general(self):
+        info = derive_polarity(not_(eq(tvar("x"), tvar("y"))))
+        assert len(info.general_equations) == 1
+        assert {v.name for v in info.g_vars} == {"x", "y"}
+
+    def test_term_ite_guard_general_and_branch_closure(self):
+        guard = eq(tvar("a"), tvar("b"))
+        term = ite_term(guard, tvar("t"), tvar("e"))
+        info = derive_polarity(not_(eq(term, tvar("z"))))
+        assert guard in info.general_equations
+        # Sides of the general equation close through the ITE branches.
+        assert {v.name for v in info.g_vars} >= {"a", "b", "t", "e", "z"}
+
+    def test_uf_symbol_closure(self):
+        f1 = uf("f", [tvar("x")])
+        f2 = uf("f", [tvar("y")])
+        phi = and_(not_(eq(f1, tvar("z"))), eq(f2, tvar("w")))
+        info = derive_polarity(phi)
+        assert "f" in info.g_symbols
+        assert f2 in info.g_terms
+
+    def test_rejects_memory_operations(self):
+        phi = eq(read(tvar("m"), tvar("a")), tvar("d"))
+        with pytest.raises(TypeError):
+            derive_polarity(phi)
+
+
+class TestCrossCheck:
+    def test_agreement_is_silent(self):
+        phi = or_(
+            not_(eq(tvar("x"), tvar("y"))),
+            eq(uf("f", [tvar("x")]), tvar("z")),
+        )
+        assert cross_check_polarity(phi, classify(phi)) == []
+
+    def test_general_equation_treated_as_positive_is_error(self):
+        phi = not_(eq(tvar("x"), tvar("y")))
+        info = classify(phi)
+        corrupted = PolarityInfo(
+            polarity=info.polarity,
+            general_equations=set(),  # pretend nothing is general
+            g_vars=set(),
+            g_symbols=set(),
+            g_terms=set(),
+        )
+        findings = cross_check_polarity(phi, corrupted)
+        checks = {d.check for d in errors(findings)}
+        assert "polarity.general-equation-treated-as-positive" in checks
+        assert "polarity.p-var-in-general-position" in checks
+
+    def test_p_symbol_in_general_position_is_error(self):
+        phi = not_(eq(uf("f", [tvar("x")]), tvar("z")))
+        info = classify(phi)
+        corrupted = PolarityInfo(
+            polarity=info.polarity,
+            general_equations=info.general_equations,
+            g_vars=info.g_vars,
+            g_symbols=set(),  # drop the symbol classification
+            g_terms=info.g_terms,
+        )
+        checks = {d.check for d in errors(cross_check_polarity(phi, corrupted))}
+        assert "polarity.p-symbol-in-general-position" in checks
+
+    def test_over_generalization_is_only_a_warning(self):
+        phi = eq(tvar("x"), tvar("y"))
+        info = classify(phi)
+        inflated = PolarityInfo(
+            polarity=info.polarity,
+            general_equations=set(info.general_equations),
+            g_vars={tvar("x")},  # general without a general use
+            g_symbols={"ghost"},
+            g_terms=set(info.g_terms),
+        )
+        findings = cross_check_polarity(phi, inflated)
+        assert findings and not errors(findings)
+        assert {d.check for d in findings} == {
+            "polarity.var-generalized-unnecessarily",
+            "polarity.symbol-generalized-unnecessarily",
+        }
+
+
+class TestDiversityAudit:
+    def _empty_info(self):
+        return PolarityInfo(
+            polarity={}, general_equations=set(), g_vars=set(),
+            g_symbols=set(), g_terms=set(),
+        )
+
+    def test_clean_encoding_is_clean(self):
+        phi = and_(not_(eq(tvar("x"), tvar("y"))), eq(tvar("u"), tvar("v")))
+        info = classify(phi)
+        eij = encode_equalities(phi, info.g_vars,
+                                known_vars=set(term_variables(phi)))
+        independent = derive_polarity(phi)
+        findings = audit_diversity(
+            eij, info,
+            independent_g_vars=independent.g_vars,
+            known_vars=set(term_variables(phi)),
+        )
+        assert not errors(findings)
+        assert findings[-1].check == "eij.audit-clean"
+
+    def test_unjustified_diversity_is_error(self):
+        # The encoder is (wrongly) told both variables are positive, but
+        # the independent derivation knows they are general.
+        phi = not_(eq(tvar("x"), tvar("y")))
+        eij = encode_equalities(phi, set())
+        assert eij.diverse_pairs
+        findings = audit_diversity(
+            eij, self._empty_info(),
+            independent_g_vars=derive_polarity(phi).g_vars,
+        )
+        checks = {d.check for d in errors(findings)}
+        assert "eij.diversity-not-justified" in checks
+
+    def test_unknown_variable_is_error(self):
+        phi = not_(eq(tvar("x"), tvar("y")))
+        info = classify(phi)
+        eij = encode_equalities(phi, info.g_vars)
+        findings = audit_diversity(
+            eij, info, known_vars={tvar("x")},  # y was never classified
+        )
+        checks = {d.check for d in errors(findings)}
+        assert "eij.variable-unknown-to-classifier" in checks
+
+    def test_eij_over_p_var_is_warning(self):
+        phi = not_(eq(tvar("x"), tvar("y")))
+        info = classify(phi)
+        eij = encode_equalities(phi, info.g_vars)
+        assert eij.eij_vars
+        findings = audit_diversity(eij, self._empty_info())
+        assert not errors(findings)
+        assert {d.check for d in findings} == {"eij.eij-over-p-var"}
+
+
+# ---------------------------------------------------------------------------
+# Property: the two classifiers agree on randomly generated DAGs
+# ---------------------------------------------------------------------------
+
+_terms = st.deferred(lambda: st.one_of(
+    st.sampled_from(("x", "y", "z", "w")).map(tvar),
+    st.builds(
+        lambda symbol, args: uf(symbol, list(args)),
+        st.sampled_from(("f", "g")),
+        st.lists(_terms, min_size=1, max_size=2),
+    ),
+    st.builds(ite_term, st.deferred(lambda: _formulas), _terms, _terms),
+))
+
+_formulas = st.deferred(lambda: st.one_of(
+    st.sampled_from(("p", "q")).map(bvar),
+    st.builds(eq, _terms, _terms),
+    st.builds(not_, _formulas),
+    st.builds(and_, _formulas, _formulas),
+    st.builds(or_, _formulas, _formulas),
+    st.builds(ite_formula, _formulas, _formulas, _formulas),
+))
+
+
+class TestAgreementProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(phi=_formulas)
+    def test_cross_check_never_finds_unsoundness(self, phi):
+        info = classify(phi)
+        findings = cross_check_polarity(phi, info)
+        assert not errors(findings), [d.render() for d in findings]
+
+    @settings(max_examples=80, deadline=None)
+    @given(phi=_formulas)
+    def test_general_equation_sets_coincide(self, phi):
+        assert (derive_polarity(phi).general_equations
+                == classify(phi).general_equations)
+
+
+class TestPipelineFormulas:
+    @pytest.mark.parametrize("method", ["rewriting", "positive_equality"])
+    def test_processor_configs_are_clean(self, method):
+        findings = analyze_config(ProcessorConfig(2, 1), method=method)
+        assert not errors(findings), [d.render() for d in findings]

@@ -1,0 +1,162 @@
+"""Rewrite-rule safety: the registry verifies, unsound rules are caught."""
+
+from repro.analysis import (
+    ERROR,
+    REGISTRY,
+    RuleInstance,
+    RuleSpec,
+    analyze_rule,
+    analyze_rules,
+)
+from repro.eufm import builder
+from repro.eufm.evaluator import Interpretation, evaluate
+
+
+def errors(diagnostics):
+    return [d for d in diagnostics if d.severity == ERROR]
+
+
+def checks(diagnostics):
+    return {d.check for d in diagnostics}
+
+
+class TestRegistry:
+    def test_every_registered_rule_is_sound(self):
+        findings = analyze_rules()
+        assert not errors(findings), [d.render() for d in findings]
+        verified = {
+            d.subject for d in findings
+            if d.check in ("rules.verified",
+                           "rules.identity-after-normalization")
+        }
+        assert verified == {spec.name for spec in REGISTRY}
+
+    def test_verified_findings_report_interpretation_counts(self):
+        for spec in REGISTRY:
+            findings = analyze_rule(spec)
+            for diag in findings:
+                if diag.check == "rules.verified":
+                    assert diag.data["interpretations"] > 0
+
+
+def _unsound_drop_address_check():
+    """read(write(m, a, d), b) -> d: ignores that a may differ from b."""
+    m, a = builder.tvar("bad!m"), builder.tvar("bad!a")
+    b, d = builder.tvar("bad!b"), builder.tvar("bad!d")
+    lhs = builder.read(builder.write(m, a, d), b)
+    return RuleInstance(
+        lhs=lhs, rhs=d,
+        pattern_vars=("bad!m", "bad!a", "bad!b", "bad!d"),
+    )
+
+
+UNSOUND_SPEC = RuleSpec(
+    name="drop-address-check",
+    description="deliberately unsound: forwards without comparing addresses",
+    build=_unsound_drop_address_check,
+)
+
+
+class TestUnsoundRuleDetection:
+    def test_unsound_rewrite_is_reported_with_witness(self):
+        findings = analyze_rule(UNSOUND_SPEC)
+        unsound = [d for d in findings if d.check == "rules.unsound-rewrite"]
+        assert len(unsound) == 1
+        diag = unsound[0]
+        assert diag.severity == ERROR
+        assert diag.subject == "drop-address-check"
+        witness = diag.data
+        assert witness["term_values"]["bad!a"] != witness["term_values"]["bad!b"]
+
+    def test_witness_replays_concretely(self):
+        instance = UNSOUND_SPEC.build()
+        diag = next(
+            d for d in analyze_rule(UNSOUND_SPEC)
+            if d.check == "rules.unsound-rewrite"
+        )
+        interp = Interpretation(
+            domain_size=diag.data["domain_size"],
+            seed=diag.data["seed"],
+            term_values=dict(diag.data["term_values"]),
+            bool_values=dict(diag.data["bool_values"]),
+        )
+        equivalence = builder.eq(instance.lhs, instance.rhs)
+        assert evaluate(equivalence, interp) is False
+
+
+class TestStaticChecks:
+    def test_rhs_inventing_a_variable_is_error(self):
+        spec = RuleSpec(
+            name="invent", description="", build=lambda: RuleInstance(
+                lhs=builder.tvar("s!x"),
+                rhs=builder.tvar("s!ghost"),
+                pattern_vars=("s!x",),
+            ),
+        )
+        assert "rules.rhs-invents-variable" in checks(analyze_rule(spec))
+
+    def test_unbound_pattern_variable_is_error(self):
+        spec = RuleSpec(
+            name="unbound", description="", build=lambda: RuleInstance(
+                lhs=builder.tvar("s!x"),
+                rhs=builder.tvar("s!x"),
+                pattern_vars=("s!x", "s!never"),
+            ),
+        )
+        assert "rules.unbound-pattern-var" in checks(analyze_rule(spec))
+
+    def test_nonlinear_pattern_is_error(self):
+        spec = RuleSpec(
+            name="nonlinear", description="", build=lambda: RuleInstance(
+                lhs=builder.tvar("s!x"),
+                rhs=builder.tvar("s!x"),
+                pattern_vars=("s!x", "s!x"),
+            ),
+        )
+        assert "rules.nonlinear-pattern" in checks(analyze_rule(spec))
+
+    def test_dropped_guard_is_error(self):
+        g = builder.bvar("s!g")
+        t = builder.tvar("s!t")
+        e = builder.tvar("s!e")
+        spec = RuleSpec(
+            name="drops-guard", description="", build=lambda: RuleInstance(
+                lhs=builder.ite_term(g, t, e),
+                rhs=builder.ite_term(g, t, e),
+                pattern_vars=("s!g", "s!t", "s!e"),
+                guards=(builder.bvar("s!other"),),
+            ),
+        )
+        assert "rules.guard-dropped" in checks(analyze_rule(spec))
+
+    def test_capture_into_general_position_is_error(self):
+        # LHS uses x positively; the RHS moves it into a negated equation.
+        x, y = builder.tvar("s!x"), builder.tvar("s!y")
+        spec = RuleSpec(
+            name="captures", description="", build=lambda: RuleInstance(
+                lhs=builder.eq(x, y),
+                rhs=builder.not_(builder.eq(x, y)),
+                pattern_vars=("s!x", "s!y"),
+            ),
+        )
+        findings = analyze_rule(spec)
+        assert "rules.captures-into-general-position" in checks(findings)
+        # It is also semantically unsound, and that is reported too.
+        assert "rules.unsound-rewrite" in checks(findings)
+
+    def test_declared_may_generalize_is_allowed(self):
+        # The production forwarding rule generalizes its address variables
+        # by declaration; no capture error may fire for it.
+        fwd = next(s for s in REGISTRY if s.name == "forwarding-read-push")
+        assert "rules.captures-into-general-position" not in checks(
+            analyze_rule(fwd)
+        )
+
+    def test_broken_builder_is_a_finding_not_a_crash(self):
+        def boom():
+            raise RuntimeError("no instance today")
+
+        spec = RuleSpec(name="broken", description="", build=boom)
+        findings = analyze_rule(spec)
+        assert checks(findings) == {"rules.builder-failed"}
+        assert errors(findings)

@@ -1,0 +1,36 @@
+"""encode_equalities(known_vars=...): reject variables classify never saw."""
+
+import pytest
+
+from repro.encode.eij import encode_equalities
+from repro.errors import EncodingError
+from repro.eufm import and_, classify, eq, not_, tvar
+
+
+def _formula():
+    x, y, z = tvar("kx"), tvar("ky"), tvar("kz")
+    return and_(not_(eq(x, y)), eq(y, z)), (x, y, z)
+
+
+class TestKnownVars:
+    def test_all_known_encodes_normally(self):
+        phi, (x, y, z) = _formula()
+        info = classify(phi)
+        result = encode_equalities(phi, info.g_vars, known_vars={x, y, z})
+        assert result.num_eij + len(result.diverse_pairs) > 0
+
+    def test_unknown_variable_raises_with_its_name(self):
+        phi, (x, y, z) = _formula()
+        info = classify(phi)
+        with pytest.raises(EncodingError) as excinfo:
+            encode_equalities(phi, info.g_vars, known_vars={x, y})
+        assert "kz" in str(excinfo.value)
+        assert "p-variable default" in str(excinfo.value)
+
+    def test_no_known_vars_means_no_check(self):
+        # Backward compatible: without known_vars, out-of-classification
+        # variables silently default to p-variables (maximal diversity).
+        phi, (x, y, z) = _formula()
+        info = classify(phi)
+        result = encode_equalities(phi, info.g_vars & {x, y})
+        assert frozenset((y, z)) in result.diverse_pairs

@@ -124,6 +124,71 @@ class TestMemoryRejection:
             classify(phi)
 
 
+class TestBothPolarity:
+    """Equations reachable in both polarities must be classified BOTH
+    (hence general): maximal diversity over their variables would be
+    unsound if even one occurrence is effectively negative."""
+
+    def test_shared_equation_has_both_polarity(self):
+        e = eq(tvar("bp_x"), tvar("bp_y"))
+        phi = and_(or_(e, bvar("p")), or_(not_(e), bvar("q")))
+        info = classify(phi)
+        assert info.polarity[e] == BOTH
+        assert e in info.general_equations
+        assert {v.name for v in info.g_vars} == {"bp_x", "bp_y"}
+
+    def test_ite_guard_equation_is_both(self):
+        # A formula-ITE condition feeds both branches: its equation is
+        # seen positively (cond -> then) and negatively (~cond -> else).
+        guard = eq(tvar("bp_a"), tvar("bp_b"))
+        phi = ite_formula(guard, bvar("p"), bvar("q"))
+        info = classify(phi)
+        assert info.polarity[guard] == BOTH
+
+    def test_nested_ite_guard_stays_both(self):
+        inner = eq(tvar("bp_c"), tvar("bp_d"))
+        outer = eq(tvar("bp_e"), tvar("bp_f"))
+        phi = ite_formula(outer, ite_formula(inner, bvar("p"), bvar("q")),
+                          bvar("r"))
+        info = classify(phi)
+        assert info.polarity[outer] == BOTH
+        assert info.polarity[inner] == BOTH
+
+    def test_single_plus_double_negation_is_both(self):
+        # The hash-consed node not_(e) is shared by two contexts: one
+        # even-depth (e ends up NEG) and one odd-depth under an enclosing
+        # not_ (the flips cancel, e ends up POS).  Together: BOTH.
+        e = eq(tvar("bp_g"), tvar("bp_h"))
+        neg_e = not_(e)
+        phi = and_(or_(neg_e, bvar("q")),
+                   not_(and_(or_(neg_e, bvar("p")), bvar("r"))))
+        info = classify(phi)
+        assert info.polarity[e] == BOTH
+        assert e in info.general_equations
+
+    def test_shared_subdag_under_mixed_parents(self):
+        # One hash-consed sub-DAG referenced from a positive parent and a
+        # negated parent: the shared node itself carries BOTH.  The extra
+        # literals keep the builder from collapsing x | ~x to TRUE.
+        e = eq(tvar("bp_i"), tvar("bp_j"))
+        shared = and_(e, bvar("p"))
+        phi = and_(or_(shared, bvar("u")), or_(not_(shared), bvar("v")))
+        info = classify(phi)
+        assert info.polarity[shared] == BOTH
+        assert info.polarity[e] == BOTH
+
+    def test_both_polarity_vars_are_general(self):
+        # The whole point: BOTH-polarity equations poison their variables
+        # for maximal diversity, exactly like pure NEG ones.
+        e = eq(tvar("bp_k"), tvar("bp_l"))
+        only_neg = not_(eq(tvar("bp_m"), tvar("bp_n")))
+        phi = and_(or_(e, bvar("p")), or_(not_(e), bvar("q")), only_neg)
+        info = classify(phi)
+        assert {v.name for v in info.g_vars} == {
+            "bp_k", "bp_l", "bp_m", "bp_n"
+        }
+
+
 class TestProcessorShapedFormula:
     def test_register_ids_general_data_positive(self):
         """The canonical shape from the paper: register identifiers are

@@ -1,0 +1,61 @@
+"""Cnf.dedupe(): duplicate-clause removal before solver handoff."""
+
+from repro.eufm import and_, bvar, not_, or_
+from repro.sat.cnf import Cnf
+from repro.sat.tseitin import cnf_for_satisfiability
+
+
+def _cnf(num_vars, clauses):
+    cnf = Cnf()
+    for _ in range(num_vars):
+        cnf.new_var()
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+class TestDedupe:
+    def test_exact_duplicate_removed(self):
+        cnf = _cnf(2, [[1, 2], [1, 2], [-1]])
+        assert cnf.dedupe() == 1
+        assert cnf.clauses == [(1, 2), (-1,)]
+
+    def test_permuted_duplicate_removed(self):
+        # Clauses are sets of literals; literal order must not matter.
+        cnf = _cnf(3, [[1, -2, 3], [3, 1, -2]])
+        assert cnf.dedupe() == 1
+        assert cnf.clauses == [(1, -2, 3)]
+
+    def test_first_occurrence_order_preserved(self):
+        cnf = _cnf(3, [[1], [2], [1], [3], [2]])
+        assert cnf.dedupe() == 2
+        assert cnf.clauses == [(1,), (2,), (3,)]
+
+    def test_nothing_to_remove(self):
+        cnf = _cnf(2, [[1], [2], [1, 2]])
+        assert cnf.dedupe() == 0
+        assert len(cnf.clauses) == 3
+
+    def test_empty_clause_kept(self):
+        # An UNSAT marker must survive dedupe; only repeats go.
+        cnf = _cnf(1, [[1]])
+        cnf.clauses.append(())
+        cnf.clauses.append(())
+        assert cnf.dedupe() == 1
+        assert cnf.clauses == [(1,), ()]
+
+    def test_idempotent(self):
+        cnf = _cnf(2, [[1, 2], [2, 1], [-1]])
+        cnf.dedupe()
+        assert cnf.dedupe() == 0
+
+
+class TestSolverHandoff:
+    def test_cnf_for_satisfiability_is_duplicate_free(self):
+        p, q, r = bvar("p"), bvar("q"), bvar("r")
+        # Shared sub-DAGs produce repeated definition clauses pre-dedupe.
+        shared = and_(p, q)
+        phi = or_(and_(shared, r), and_(shared, not_(r)))
+        result = cnf_for_satisfiability(phi)
+        keys = [frozenset(c) for c in result.cnf.clauses]
+        assert len(keys) == len(set(keys))
