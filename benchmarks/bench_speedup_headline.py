@@ -13,7 +13,7 @@ from repro import verify
 from repro.core import render_rows
 from repro.processor import ProcessorConfig
 
-from common import FULL, save_table
+from common import FULL, save_snapshot, save_table
 
 # The largest configuration our PE-only flow finishes comfortably.
 COMPARE = ProcessorConfig(n_rob=3, issue_width=2)
@@ -64,5 +64,8 @@ def test_headline_speedup(benchmark):
         rows,
     )
     save_table("speedup_headline", table)
+    save_snapshot("speedup_pe_only", pe)
+    save_snapshot("speedup_rewriting", rw)
+    save_snapshot("speedup_beyond", beyond)
     assert pe.correct and rw.correct and beyond.correct
     assert speedup > 10, f"expected a large speedup, got {speedup:.1f}x"

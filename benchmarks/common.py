@@ -46,3 +46,16 @@ def save_table(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def save_snapshot(name: str, result, **meta) -> None:
+    """Persist a verification result's perf metrics as ``BENCH_<name>.json``.
+
+    The snapshot lands next to the tables in ``benchmarks/results`` and
+    feeds the ``python -m repro perf compare`` regression gate.
+    """
+    from repro.obs.metrics import snapshot_from_result
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    snapshot = snapshot_from_result(result, meta={"bench": name, **meta})
+    snapshot.save(RESULTS_DIR / f"BENCH_{name}.json")

@@ -17,6 +17,13 @@ Lint mode (soundness analyzers; see :mod:`repro.analysis.cli`)::
     python -m repro lint
     python -m repro lint --grid 3x2 --json
 
+Observability (span traces and the perf-regression gate; see
+:mod:`repro.obs.cli`)::
+
+    python -m repro trace --rob 4 --width 2
+    python -m repro perf record --rob 4 --width 2 --out base.json
+    python -m repro perf compare base.json current.json
+
 Exit status of a single run: 0 — the design was proved correct; 1 — a bug
 was found; 2 — the SAT budget was exhausted before a verdict; 3 — another
 structured verification error (including strict-mode soundness findings).
@@ -130,6 +137,14 @@ def main(argv=None) -> int:
         from .analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from .obs.cli import perf_main
+
+        return perf_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from .obs.cli import trace_main
+
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ProcessorConfig(
         n_rob=args.rob,

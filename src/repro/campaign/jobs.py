@@ -127,6 +127,11 @@ class JobResult:
     #: populated when the campaign runs with ``analyze=True`` and
     #: journaled with the finish record so they survive crash-and-resume.
     diagnostics: List[Dict[str, Any]] = field(default_factory=list)
+    #: flat perf metrics of the deciding run, in the
+    #: :func:`repro.obs.metrics.snapshot_from_result` layout
+    #: (``timings.*``, ``sat.*``, ``rewrite.*``, ``trace.*``, ...);
+    #: journaled with the finish record so they survive crash-and-resume.
+    metrics: Dict[str, float] = field(default_factory=dict)
     #: True when this result was replayed from the journal, not re-run.
     from_journal: bool = False
 
@@ -150,6 +155,9 @@ class JobResult:
             diag.to_dict() if hasattr(diag, "to_dict") else dict(diag)
             for diag in getattr(result, "diagnostics", []) or []
         ]
+        from ..obs.metrics import snapshot_from_result
+
+        metrics = snapshot_from_result(result).metrics
         return cls(
             job_id=job.job_id,
             status=status,
@@ -160,6 +168,7 @@ class JobResult:
             timings=dict(result.timings),
             stats=dict(stats.as_row()) if stats is not None else {},
             diagnostics=diagnostics,
+            metrics=metrics,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -173,6 +182,7 @@ class JobResult:
             "timings": self.timings,
             "stats": self.stats,
             "diagnostics": self.diagnostics,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -187,4 +197,5 @@ class JobResult:
             timings=dict(data.get("timings", {})),
             stats=dict(data.get("stats", {})),
             diagnostics=list(data.get("diagnostics", [])),
+            metrics=dict(data.get("metrics", {})),
         )

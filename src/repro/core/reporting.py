@@ -13,7 +13,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["render_matrix", "render_rows", "render_diagnostics"]
+__all__ = [
+    "render_matrix",
+    "render_rows",
+    "render_diagnostics",
+    "render_span_tree",
+]
 
 
 def render_matrix(
@@ -71,6 +76,18 @@ def render_diagnostics(diagnostics: Sequence, title: str = "Findings") -> str:
         rows,
     )
     return table
+
+
+def render_span_tree(root, title: Optional[str] = None) -> str:
+    """Render a ``verify(trace=True)`` span tree as an indented profile.
+
+    Thin delegate to :func:`repro.obs.exporters.render_span_tree`, kept
+    here so every human-readable report sink lives in one module.
+    """
+    from ..obs.exporters import render_span_tree as _render
+
+    text = _render(root)
+    return f"{title}\n{text}" if title else text
 
 
 def _tabulate(title: str, rows: List[List[str]]) -> str:

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..encode.evc import EncodingStats, ValidityResult
+from ..obs.tracer import Span
 from ..processor.bugs import Bug
 from ..processor.params import ProcessorConfig
 from ..rewriting.engine import RewriteResult
@@ -35,6 +36,9 @@ class VerificationResult:
     #: soundness findings from ``verify(analyze=True)``
     #: (:class:`~repro.analysis.diagnostics.Diagnostic` records).
     diagnostics: List = field(default_factory=list)
+    #: the run's full span tree from ``verify(trace=True)``; ``timings``
+    #: is the flat per-phase view derived from this tree.
+    trace: Optional[Span] = None
 
     @property
     def encoding_stats(self) -> Optional[EncodingStats]:

@@ -12,15 +12,22 @@
 * ``method="positive_equality"``: skip the rewriting rules and translate
   the full correctness formula — the Sect. 7.1 baseline, whose cost grows
   dramatically with the reorder-buffer size (Table 2).
+
+Every run is recorded on a :class:`~repro.obs.tracer.Tracer`: the pipeline
+layers open "simulate"/"rewrite"/"translate"/"sat" spans under the "verify"
+root and attach their work counters.  ``result.timings`` is a *derived
+view* of that span tree (one entry per phase plus ``total``), so the
+phase timings and the trace can never disagree.  Pass ``trace=True`` to
+keep the full span tree on ``result.trace``.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from typing import Dict, Optional
 
 from ..encode.evc import check_validity
 from ..errors import AnalysisError, BudgetExhausted
+from ..obs.tracer import Span, Tracer, use_tracer
 from ..processor.bugs import Bug
 from ..processor.correctness import build_correctness_formula, run_diagram
 from ..processor.params import ProcessorConfig
@@ -32,35 +39,86 @@ __all__ = ["verify", "METHODS"]
 METHODS = ("rewriting", "positive_equality")
 
 
-def _enrich_budget_error(
-    exc: BudgetExhausted, timings: dict, start: float
-) -> None:
-    """Fold the phases completed before the abort into the exception."""
-    for phase, seconds in timings.items():
-        exc.timings.setdefault(phase, seconds)
-    exc.timings["total"] = time.perf_counter() - start
+def _derive_timings(root: Span) -> Dict[str, float]:
+    """Phase-timings view of a closed "verify" span tree.
+
+    One entry per top-level phase span (wall-clock seconds) plus
+    ``total``, taken from the root — a single source of truth, so the
+    sum of the phases can never exceed what ``total`` reports.
+    """
+    timings = {child.name: child.wall_seconds for child in root.children}
+    timings["total"] = root.wall_seconds
+    return timings
 
 
-def _run_analysis(
-    result: VerificationResult, timings: dict, start: float, strict: bool
+def _enrich_budget_error(exc: BudgetExhausted, root: Optional[Span]) -> None:
+    """Fold the phases completed before the abort into the exception.
+
+    Called after the "verify" span closed (the exception already
+    propagated through it), so every phase duration is final.
+    """
+    if root is None:
+        return
+    for child in root.children:
+        exc.timings.setdefault(child.name, child.wall_seconds)
+    exc.timings["total"] = root.wall_seconds
+
+
+def _run_traced(
+    config: ProcessorConfig,
+    method: str,
+    bug: Optional[Bug],
+    criterion: str,
+    max_conflicts: Optional[int],
+    max_seconds: Optional[float],
 ) -> VerificationResult:
-    """Attach soundness diagnostics; in strict mode, errors raise."""
-    from ..analysis.diagnostics import errors_in
-    from ..analysis.pipeline import analyze_verification
+    """The pipeline proper, run under an open "verify" span."""
+    artifacts = run_diagram(config, bug=bug)
 
-    analyze_start = time.perf_counter()
-    result.diagnostics = analyze_verification(result)
-    timings["analyze"] = time.perf_counter() - analyze_start
-    timings["total"] = time.perf_counter() - start
-    if strict:
-        errors = errors_in(result.diagnostics)
-        if errors:
-            raise AnalysisError(
-                f"soundness analysis found {len(errors)} error(s): "
-                + "; ".join(diag.render() for diag in errors[:3]),
-                diagnostics=result.diagnostics,
+    if method == "rewriting":
+        rewrite = rewrite_diagram(artifacts, criterion=criterion)
+        if not rewrite.succeeded:
+            failure = rewrite.failure
+            return VerificationResult(
+                config=config,
+                method=method,
+                bug=bug,
+                correct=False,
+                suspected_entry=failure.entry,
+                failure_detail=f"{failure.stage}: {failure.detail}",
+                rewrite=rewrite,
             )
-    return result
+        validity = check_validity(
+            rewrite.reduced_formula,
+            memory_mode="conservative",
+            max_conflicts=max_conflicts,
+            max_seconds=max_seconds,
+        )
+        return VerificationResult(
+            config=config,
+            method=method,
+            bug=bug,
+            correct=validity.valid,
+            rewrite=rewrite,
+            validity=validity,
+            counterexample=validity.counterexample,
+        )
+
+    formula = build_correctness_formula(artifacts, criterion=criterion)
+    validity = check_validity(
+        formula,
+        memory_mode="precise",
+        max_conflicts=max_conflicts,
+        max_seconds=max_seconds,
+    )
+    return VerificationResult(
+        config=config,
+        method=method,
+        bug=bug,
+        correct=validity.valid,
+        validity=validity,
+        counterexample=validity.counterexample,
+    )
 
 
 def verify(
@@ -72,6 +130,7 @@ def verify(
     max_seconds: Optional[float] = None,
     analyze: bool = False,
     strict: bool = False,
+    trace: bool = False,
 ) -> VerificationResult:
     """Formally verify one out-of-order processor configuration.
 
@@ -93,83 +152,43 @@ def verify(
         strict: implies ``analyze``; raise
             :class:`repro.errors.AnalysisError` when any error-level
             finding is present instead of returning normally.
+        trace: keep the full span tree on ``result.trace`` (a
+            :class:`~repro.obs.tracer.Span`) with the per-layer work
+            counters; render it with
+            :func:`repro.core.reporting.render_span_tree`.
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; use one of {METHODS}")
     analyze = analyze or strict
-    start = time.perf_counter()
-    artifacts = run_diagram(config, bug=bug)
-    timings = {"simulate": artifacts.simulate_seconds}
-
-    if method == "rewriting":
-        rewrite = rewrite_diagram(artifacts, criterion=criterion)
-        timings["rewrite"] = rewrite.rewrite_seconds
-        if not rewrite.succeeded:
-            timings["total"] = time.perf_counter() - start
-            failure = rewrite.failure
-            result = VerificationResult(
-                config=config,
-                method=method,
-                bug=bug,
-                correct=False,
-                suspected_entry=failure.entry,
-                failure_detail=f"{failure.stage}: {failure.detail}",
-                rewrite=rewrite,
-                timings=timings,
-            )
-            if analyze:
-                return _run_analysis(result, timings, start, strict)
-            return result
-        try:
-            validity = check_validity(
-                rewrite.reduced_formula,
-                memory_mode="conservative",
-                max_conflicts=max_conflicts,
-                max_seconds=max_seconds,
-            )
-        except BudgetExhausted as exc:
-            _enrich_budget_error(exc, timings, start)
-            raise
-        timings["translate"] = validity.encoded.stats.translate_seconds
-        timings["sat"] = validity.solve_seconds
-        timings["total"] = time.perf_counter() - start
-        result = VerificationResult(
-            config=config,
-            method=method,
-            bug=bug,
-            correct=validity.valid,
-            rewrite=rewrite,
-            validity=validity,
-            timings=timings,
-            counterexample=validity.counterexample,
-        )
-        if analyze:
-            return _run_analysis(result, timings, start, strict)
-        return result
-
-    formula = build_correctness_formula(artifacts, criterion=criterion)
+    tracer = Tracer()
     try:
-        validity = check_validity(
-            formula,
-            memory_mode="precise",
-            max_conflicts=max_conflicts,
-            max_seconds=max_seconds,
-        )
+        with use_tracer(tracer):
+            with tracer.span("verify"):
+                result = _run_traced(
+                    config, method, bug, criterion, max_conflicts, max_seconds
+                )
+                if analyze:
+                    from ..analysis.pipeline import analyze_verification
+
+                    with tracer.span("analyze"):
+                        result.diagnostics = analyze_verification(result)
     except BudgetExhausted as exc:
-        _enrich_budget_error(exc, timings, start)
+        _enrich_budget_error(exc, tracer.root)
         raise
-    timings["translate"] = validity.encoded.stats.translate_seconds
-    timings["sat"] = validity.solve_seconds
-    timings["total"] = time.perf_counter() - start
-    result = VerificationResult(
-        config=config,
-        method=method,
-        bug=bug,
-        correct=validity.valid,
-        validity=validity,
-        timings=timings,
-        counterexample=validity.counterexample,
-    )
-    if analyze:
-        return _run_analysis(result, timings, start, strict)
+
+    root = tracer.root
+    result.timings = _derive_timings(root)
+    if trace:
+        result.trace = root
+
+    if strict:
+        from ..analysis.diagnostics import errors_in
+
+        errors = errors_in(result.diagnostics)
+        if errors:
+            raise AnalysisError(
+                f"soundness analysis found {len(errors)} error(s): "
+                + "; ".join(diag.render() for diag in errors[:3]),
+                diagnostics=result.diagnostics,
+            )
     return result

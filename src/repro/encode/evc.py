@@ -27,6 +27,7 @@ from ..eufm import builder
 from ..eufm.ast import FALSE, TRUE, BoolVar, Formula, TermVar
 from ..eufm.polarity import PolarityInfo, classify
 from ..eufm.traversal import bool_variables, term_variables
+from ..obs.tracer import current_tracer
 from ..sat.cnf import Cnf
 from ..sat.solver import SatResult, solve_cnf
 from ..sat.tseitin import TseitinResult, cnf_for_satisfiability
@@ -118,32 +119,78 @@ def encode_validity(
         raise ValueError(f"unknown CNF encoding {cnf_encoding!r}")
     start = time.perf_counter()
     stats = EncodingStats()
+    tracer = current_tracer()
 
-    if memory_mode == "conservative":
-        memory_result = None
-        phi_no_mem = abstract_memories_conservative(phi)
-    else:
-        memory_result = eliminate_memories(phi)
-        phi_no_mem = memory_result.formula
+    with tracer.span("translate") as translate_span:
+        with tracer.span("memory"):
+            if memory_mode == "conservative":
+                memory_result = None
+                phi_no_mem = abstract_memories_conservative(phi)
+            else:
+                memory_result = eliminate_memories(phi)
+                phi_no_mem = memory_result.formula
+                tracer.add(
+                    "encode.fresh_addresses",
+                    len(memory_result.fresh_addresses),
+                )
+                tracer.add(
+                    "encode.negative_memory_equations",
+                    len(memory_result.negative_memory_equations),
+                )
 
-    polarity = classify(phi_no_mem)
-    uf_result = eliminate_uf(phi_no_mem, polarity)
+        with tracer.span("polarity"):
+            polarity = classify(phi_no_mem)
+            tracer.add("encode.g_vars", len(polarity.g_vars))
+            tracer.add(
+                "encode.general_equations", len(polarity.general_equations)
+            )
 
-    g_vars: Set[TermVar] = set(polarity.g_vars) | uf_result.fresh_g_vars
-    known_vars: Set[TermVar] = set(term_variables(phi_no_mem))
-    known_vars.update(uf_result.fresh_term_vars)
-    eij_result = encode_equalities(
-        uf_result.formula, g_vars, known_vars=known_vars
-    )
-    trans_result = transitivity_constraints(eij_result.eij_vars)
+        with tracer.span("uf_elim"):
+            uf_result = eliminate_uf(phi_no_mem, polarity)
+            tracer.add(
+                "encode.fresh_term_vars", len(uf_result.fresh_term_vars)
+            )
+            tracer.add(
+                "encode.fresh_bool_vars", len(uf_result.fresh_bool_vars)
+            )
 
-    prop = eij_result.formula
-    negated = builder.and_(builder.not_(prop), *trans_result.constraints)
+        with tracer.span("eij"):
+            g_vars: Set[TermVar] = set(polarity.g_vars) | uf_result.fresh_g_vars
+            known_vars: Set[TermVar] = set(term_variables(phi_no_mem))
+            known_vars.update(uf_result.fresh_term_vars)
+            eij_result = encode_equalities(
+                uf_result.formula, g_vars, known_vars=known_vars
+            )
+            tracer.add("encode.eij_vars", len(eij_result.eij_vars))
+            tracer.add(
+                "encode.diverse_pairs", len(eij_result.diverse_pairs)
+            )
+            tracer.add(
+                "encode.p_vars", len(known_vars) - len(g_vars & known_vars)
+            )
 
-    tseitin_result = cnf_for_satisfiability(
-        negated, polarity_aware=(cnf_encoding == "polarity")
-    )
-    stats.translate_seconds = time.perf_counter() - start
+        with tracer.span("transitivity"):
+            trans_result = transitivity_constraints(eij_result.eij_vars)
+            tracer.add(
+                "encode.transitivity_constraints",
+                len(trans_result.constraints),
+            )
+            tracer.add("encode.fill_vars", len(trans_result.fill_vars))
+
+        prop = eij_result.formula
+        negated = builder.and_(builder.not_(prop), *trans_result.constraints)
+
+        with tracer.span("tseitin"):
+            tseitin_result = cnf_for_satisfiability(
+                negated, polarity_aware=(cnf_encoding == "polarity")
+            )
+        stats.translate_seconds = time.perf_counter() - start
+        translate_span.set(
+            "encode.cnf_vars", float(tseitin_result.cnf.num_vars)
+        )
+        translate_span.set(
+            "encode.cnf_clauses", float(tseitin_result.cnf.num_clauses)
+        )
 
     total_eij = len(eij_result.eij_vars) + len(trans_result.fill_vars)
     stats.eij_primary = sum(

@@ -1,0 +1,313 @@
+"""Metrics registry, snapshots, and the perf-regression comparator.
+
+A :class:`MetricsRegistry` is a thread-safe flat store of counters and
+gauges keyed by stage-qualified names (``"sat.conflicts"``,
+``"encode.eij_primary"``).  A :class:`MetricsSnapshot` is its frozen,
+JSON-serializable form — the unit of the perf trajectory: benchmarks
+write ``BENCH_*.json`` snapshots, campaigns journal one per job, and
+``python -m repro perf record``/``compare`` turn two snapshots into a
+regression verdict.
+
+:func:`snapshot_from_result` flattens a
+:class:`~repro.core.results.VerificationResult` (phase timings, CNF
+statistics, SAT counters, rewrite-rule firing counts, and — when the run
+was traced — every span counter) into one snapshot.  It duck-types the
+result object so it also works on the stub results used by campaign
+tests.
+
+:func:`compare_snapshots` checks a current snapshot against a baseline
+under per-metric tolerances.  Tolerances are matched by ``fnmatch``
+pattern, first match wins; timing metrics default to a generous relative
+slack (wall clocks are noisy), counts default to exact.  Only *increases*
+fail the gate — getting faster or smaller is never a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Tolerance",
+    "MetricDelta",
+    "ComparisonReport",
+    "DEFAULT_TOLERANCES",
+    "snapshot_from_result",
+    "compare_snapshots",
+]
+
+
+class MetricsRegistry:
+    """Thread-safe counters and gauges keyed by stage-qualified name."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[str, float] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Accumulate ``value`` onto the counter ``name``."""
+        with self._lock:
+            self._values[name] = self._values.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Overwrite the gauge ``name`` with ``value``."""
+        with self._lock:
+            self._values[name] = float(value)
+
+    def merge(self, metrics: Mapping[str, float]) -> None:
+        """Accumulate a whole mapping (e.g. a span's counters)."""
+        with self._lock:
+            for name, value in metrics.items():
+                self._values[name] = self._values.get(name, 0.0) + value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def values(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def snapshot(self, meta: Optional[Dict[str, Any]] = None) -> "MetricsSnapshot":
+        return MetricsSnapshot(metrics=self.values(), meta=dict(meta or {}))
+
+
+@dataclass
+class MetricsSnapshot:
+    """A frozen set of metric values plus free-form metadata."""
+
+    metrics: Dict[str, float] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"meta": dict(self.meta), "metrics": dict(self.metrics)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsSnapshot":
+        metrics = {
+            str(k): float(v) for k, v in data.get("metrics", {}).items()
+        }
+        return cls(metrics=metrics, meta=dict(data.get("meta", {})))
+
+    def save(self, path) -> None:
+        """Write the snapshot as pretty-printed, sorted JSON."""
+        path = os.fspath(path)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "MetricsSnapshot":
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def snapshot_from_result(result, meta: Optional[Dict[str, Any]] = None) -> MetricsSnapshot:
+    """Flatten a verification result into one :class:`MetricsSnapshot`.
+
+    Works on any object shaped like
+    :class:`~repro.core.results.VerificationResult`; absent attributes
+    simply contribute no metrics.
+    """
+    metrics: Dict[str, float] = {}
+
+    for phase, seconds in (getattr(result, "timings", None) or {}).items():
+        metrics[f"timings.{phase}"] = float(seconds)
+
+    stats = getattr(result, "encoding_stats", None)
+    if stats is not None:
+        for name, value in stats.as_row().items():
+            metrics[f"encode.{name}"] = float(value)
+
+    validity = getattr(result, "validity", None)
+    sat = getattr(validity, "sat_result", None) if validity else None
+    if sat is not None:
+        for name in (
+            "decisions",
+            "conflicts",
+            "propagations",
+            "restarts",
+            "learned_clauses",
+            "max_decision_level",
+        ):
+            metrics[f"sat.{name}"] = float(getattr(sat, name, 0))
+        metrics["sat.cpu_seconds"] = float(getattr(sat, "cpu_seconds", 0.0))
+
+    rewrite = getattr(result, "rewrite", None)
+    if rewrite is not None:
+        for rule, count in (getattr(rewrite, "rules_applied", None) or {}).items():
+            metrics[f"rewrite.rule.{rule}"] = float(count)
+        proved = getattr(rewrite, "proved_entries", None)
+        if proved is not None:
+            metrics["rewrite.entries_proved"] = float(len(proved))
+
+    trace = getattr(result, "trace", None)
+    if trace is not None:
+        for counter, value in trace.all_counters().items():
+            metrics.setdefault(f"trace.{counter}", float(value))
+
+    snapshot_meta: Dict[str, Any] = {}
+    config = getattr(result, "config", None)
+    if config is not None:
+        snapshot_meta["config"] = getattr(config, "describe", lambda: str(config))()
+    method = getattr(result, "method", None)
+    if method is not None:
+        snapshot_meta["method"] = method
+    correct = getattr(result, "correct", None)
+    if correct is not None:
+        snapshot_meta["correct"] = bool(correct)
+    snapshot_meta.update(meta or {})
+    return MetricsSnapshot(metrics=metrics, meta=snapshot_meta)
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed *increase* of a metric: relative fraction plus absolute slack.
+
+    ``current`` passes while ``current <= baseline * (1 + rel) + abs``.
+    """
+
+    rel: float = 0.0
+    abs: float = 0.0
+
+    def limit(self, baseline: float) -> float:
+        return baseline * (1.0 + self.rel) + self.abs
+
+    def describe(self) -> str:
+        return f"rel:{self.rel:g}+abs:{self.abs:g}"
+
+
+#: Pattern-ordered default tolerances.  Wall/CPU clocks are noisy across
+#: machines, so any ``*seconds*``/``timings.*`` metric gets a wide berth;
+#: structural counts are deterministic and must not grow silently.
+DEFAULT_TOLERANCES: Tuple[Tuple[str, Tolerance], ...] = (
+    ("timings.*", Tolerance(rel=10.0, abs=0.5)),
+    ("*seconds*", Tolerance(rel=10.0, abs=0.5)),
+    ("*", Tolerance(rel=0.0, abs=0.0)),
+)
+
+
+@dataclass
+class MetricDelta:
+    """Verdict for one metric of the comparison."""
+
+    name: str
+    baseline: Optional[float]
+    current: Optional[float]
+    tolerance: Optional[Tolerance]
+    regressed: bool
+    note: str = ""
+
+    def render_row(self) -> Tuple[str, str, str, str, str]:
+        fmt = lambda v: "-" if v is None else f"{v:g}"
+        status = "FAIL" if self.regressed else "ok"
+        detail = self.note or (
+            self.tolerance.describe() if self.tolerance else ""
+        )
+        return (self.name, fmt(self.baseline), fmt(self.current), status, detail)
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing a current snapshot against a baseline."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self, only_failures: bool = False) -> str:
+        from ..core.reporting import render_rows
+
+        shown = self.regressions if only_failures else self.deltas
+        verdict = (
+            "no regressions"
+            if self.ok
+            else f"{len(self.regressions)} regression(s)"
+        )
+        if not shown:
+            return f"perf compare: {verdict}"
+        return render_rows(
+            f"perf compare: {verdict}",
+            ("metric", "baseline", "current", "status", "detail"),
+            [delta.render_row() for delta in shown],
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "regressions": [delta.name for delta in self.regressions],
+            "deltas": [
+                {
+                    "name": delta.name,
+                    "baseline": delta.baseline,
+                    "current": delta.current,
+                    "regressed": delta.regressed,
+                    "note": delta.note,
+                }
+                for delta in self.deltas
+            ],
+        }
+
+
+def _tolerance_for(
+    name: str, rules: Sequence[Tuple[str, Tolerance]]
+) -> Tolerance:
+    for pattern, tolerance in rules:
+        if fnmatchcase(name, pattern):
+            return tolerance
+    return Tolerance()
+
+
+def compare_snapshots(
+    baseline: MetricsSnapshot,
+    current: MetricsSnapshot,
+    rules: Optional[Sequence[Tuple[str, Tolerance]]] = None,
+) -> ComparisonReport:
+    """Compare ``current`` against ``baseline`` under tolerance ``rules``.
+
+    Rules are ``(fnmatch pattern, Tolerance)`` pairs checked in order;
+    the first match wins.  A metric present in the baseline but missing
+    from the current run is a regression (instrumentation was lost); a
+    metric new in the current run is informational only.
+    """
+    if rules is None:
+        rules = DEFAULT_TOLERANCES
+    report = ComparisonReport()
+    for name in sorted(set(baseline.metrics) | set(current.metrics)):
+        base_value = baseline.metrics.get(name)
+        cur_value = current.metrics.get(name)
+        tolerance = _tolerance_for(name, rules)
+        if base_value is None:
+            report.deltas.append(
+                MetricDelta(name, None, cur_value, tolerance, False, "new metric")
+            )
+            continue
+        if cur_value is None:
+            report.deltas.append(
+                MetricDelta(
+                    name, base_value, None, tolerance, True, "metric disappeared"
+                )
+            )
+            continue
+        limit = tolerance.limit(base_value)
+        regressed = cur_value > limit
+        note = f"limit {limit:g} ({tolerance.describe()})" if regressed else ""
+        report.deltas.append(
+            MetricDelta(name, base_value, cur_value, tolerance, regressed, note)
+        )
+    return report

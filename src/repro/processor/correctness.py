@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..eufm import builder
-from ..eufm.ast import FALSE, TRUE, Formula, Term
+from ..eufm.ast import FALSE, TRUE, Formula, Term, interned_count
+from ..obs.tracer import current_tracer
 from ..tlsim import Simulator
 from .abstraction import flush_range
 from .bugs import Bug
@@ -71,33 +72,45 @@ class DiagramArtifacts:
 def run_diagram(
     config: ProcessorConfig, bug: Optional[Bug] = None
 ) -> DiagramArtifacts:
-    """Symbolically simulate both sides of the commutative diagram."""
+    """Symbolically simulate both sides of the commutative diagram.
+
+    Recorded as a ``"simulate"`` span on the ambient tracer, carrying the
+    TLSim work counters (cycles, component evaluations, nodes built).
+    """
     start = time.perf_counter()
-    proc = build_ooo_processor(config, bug=bug)
-    artifacts = DiagramArtifacts(config=config, proc=proc)
+    with current_tracer().span("simulate") as span:
+        nodes_before = interned_count()
+        proc = build_ooo_processor(config, bug=bug)
+        artifacts = DiagramArtifacts(config=config, proc=proc)
 
-    n = config.n_rob
-    k = config.issue_width
+        n = config.n_rob
+        k = config.issue_width
 
-    # Implementation side: one regular step, then flush in program order.
-    impl_sim = make_simulator(proc)
-    impl_sim.step()
-    artifacts.pc_impl = impl_sim.peek(proc.pc)
-    flush_range(impl_sim, proc, 1, n)
-    artifacts.rf_impl_mid = impl_sim.peek(proc.rf)
-    flush_range(impl_sim, proc, n + 1, n + k)
-    artifacts.rf_impl = impl_sim.peek(proc.rf)
+        # Implementation side: one regular step, then flush in program order.
+        impl_sim = make_simulator(proc)
+        impl_sim.step()
+        artifacts.pc_impl = impl_sim.peek(proc.pc)
+        flush_range(impl_sim, proc, 1, n)
+        artifacts.rf_impl_mid = impl_sim.peek(proc.rf)
+        flush_range(impl_sim, proc, n + 1, n + k)
+        artifacts.rf_impl = impl_sim.peek(proc.rf)
 
-    # Specification side: flush the initial state, then run the ISA.
-    spec_sim = make_simulator(proc)
-    flush_range(spec_sim, proc, 1, n + k)
-    spec0 = SpecState(pc=artifacts.initial_pc, reg_file=spec_sim.peek(proc.rf))
-    artifacts.spec_states = spec_trajectory(spec0, k)
+        # Specification side: flush the initial state, then run the ISA.
+        spec_sim = make_simulator(proc)
+        flush_range(spec_sim, proc, 1, n + k)
+        spec0 = SpecState(
+            pc=artifacts.initial_pc, reg_file=spec_sim.peek(proc.rf)
+        )
+        artifacts.spec_states = spec_trajectory(spec0, k)
 
-    nd_fetch = [builder.bvar(f"NDFetch{j + 1}") for j in range(k)]
-    artifacts.fetch_conditions = [
-        builder.and_(*nd_fetch[: j + 1]) for j in range(k)
-    ]
+        nd_fetch = [builder.bvar(f"NDFetch{j + 1}") for j in range(k)]
+        artifacts.fetch_conditions = [
+            builder.and_(*nd_fetch[: j + 1]) for j in range(k)
+        ]
+
+        impl_sim.publish_counters()
+        spec_sim.publish_counters()
+        span.add("tlsim.nodes_built", interned_count() - nodes_before)
 
     artifacts.simulate_seconds = time.perf_counter() - start
     return artifacts

@@ -48,6 +48,7 @@ from ..eufm.ast import (
     UFApp,
 )
 from ..eufm.memory import push_read
+from ..obs.tracer import current_tracer
 from ..processor.correctness import DiagramArtifacts
 from ..processor.isa import ALU
 from .rules import (
@@ -104,7 +105,27 @@ class RewriteResult:
 def rewrite_diagram(
     artifacts: DiagramArtifacts, criterion: str = "disjunction"
 ) -> RewriteResult:
-    """Apply the Sect. 6 rewriting rules to the diagram's update sequences."""
+    """Apply the Sect. 6 rewriting rules to the diagram's update sequences.
+
+    Recorded as a ``"rewrite"`` span on the ambient tracer, carrying the
+    per-rule firing counts and the number of entries proved/removed.
+    """
+    with current_tracer().span("rewrite") as span:
+        result = _rewrite_diagram(artifacts, criterion)
+        for rule, count in result.rules_applied.items():
+            span.add(f"rewrite.rule.{rule}", count)
+        span.add("rewrite.entries_proved", len(result.proved_entries))
+        span.add(
+            "rewrite.updates_removed", result.rules_applied.get("remove", 0)
+        )
+        span.add("rewrite.passes", 1)
+        span.set("rewrite.succeeded", 1.0 if result.succeeded else 0.0)
+        return result
+
+
+def _rewrite_diagram(
+    artifacts: DiagramArtifacts, criterion: str
+) -> RewriteResult:
     start = time.perf_counter()
     result = RewriteResult(artifacts=artifacts)
     config = artifacts.config

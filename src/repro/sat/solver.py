@@ -21,6 +21,7 @@ from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import SolverError
+from ..obs.tracer import current_tracer
 from .cnf import Cnf
 
 __all__ = ["SatResult", "Solver", "solve_cnf"]
@@ -37,6 +38,8 @@ class SatResult:
     propagations: int = 0
     restarts: int = 0
     learned_clauses: int = 0
+    #: deepest decision level reached (0 when the instance propagates out).
+    max_decision_level: int = 0
     cpu_seconds: float = 0.0
 
     @property
@@ -334,6 +337,8 @@ class Solver:
             lit = var if self.saved_phase[var] > 0 else -var
             self._enqueue(lit, None)
             self.stats.decisions += 1
+            if len(self.trail_lim) > self.stats.max_decision_level:
+                self.stats.max_decision_level = len(self.trail_lim)
             return True
         # Heap exhausted: fall back to a scan for any unassigned variable.
         for var in range(1, self.num_vars + 1):
@@ -342,6 +347,8 @@ class Solver:
                 lit = var if self.saved_phase[var] > 0 else -var
                 self._enqueue(lit, None)
                 self.stats.decisions += 1
+                if len(self.trail_lim) > self.stats.max_decision_level:
+                    self.stats.max_decision_level = len(self.trail_lim)
                 return True
         return False
 
@@ -377,7 +384,28 @@ class Solver:
         max_conflicts: Optional[int] = None,
         max_seconds: Optional[float] = None,
     ) -> SatResult:
-        """Run the solver, optionally bounded by conflicts or wall time."""
+        """Run the solver, optionally bounded by conflicts or wall time.
+
+        The run is recorded as a ``"sat"`` span (with the full counter set)
+        on the ambient tracer; a no-op unless one is installed.
+        """
+        with current_tracer().span("sat") as span:
+            result = self._run(max_conflicts, max_seconds)
+            span.add("sat.variables", self.num_vars)
+            span.add("sat.clauses", len(self.clauses))
+            span.add("sat.decisions", result.decisions)
+            span.add("sat.conflicts", result.conflicts)
+            span.add("sat.propagations", result.propagations)
+            span.add("sat.restarts", result.restarts)
+            span.add("sat.learned_clauses", result.learned_clauses)
+            span.add("sat.max_decision_level", result.max_decision_level)
+            return result
+
+    def _run(
+        self,
+        max_conflicts: Optional[int],
+        max_seconds: Optional[float],
+    ) -> SatResult:
         start = time.perf_counter()
         result = self.stats
         if not self.ok:

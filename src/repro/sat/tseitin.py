@@ -31,6 +31,7 @@ from ..eufm.ast import (
     Or,
 )
 from ..eufm.traversal import iter_dag
+from ..obs.tracer import current_tracer
 from .cnf import Cnf
 
 __all__ = ["TseitinResult", "tseitin", "cnf_for_satisfiability"]
@@ -192,9 +193,14 @@ def cnf_for_satisfiability(
     if result.root_literal is None:
         if not result.constant:
             result.cnf.clauses.append(())
-        return result
-    result.cnf.add_clause([result.root_literal])
-    # The solver should never see the same clause twice (shared gate
-    # structure can reproduce a definition clause verbatim).
-    result.cnf.dedupe()
+    else:
+        result.cnf.add_clause([result.root_literal])
+        # The solver should never see the same clause twice (shared gate
+        # structure can reproduce a definition clause verbatim).
+        result.cnf.dedupe()
+    tracer = current_tracer()
+    tracer.add("tseitin.cnf_vars", result.cnf.num_vars)
+    tracer.add("tseitin.cnf_clauses", result.cnf.num_clauses)
+    tracer.add("tseitin.primary_inputs", len(result.var_map))
+    tracer.add("tseitin.gate_vars", result.cnf.num_vars - len(result.var_map))
     return result

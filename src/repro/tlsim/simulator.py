@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Set
 
 from ..errors import ReproError
 from ..eufm.ast import Expr, Formula, Term
+from ..obs.tracer import current_tracer
 from .circuit import Circuit
 from .components import Component, Latch
 from .signals import FORMULA, MEMORY, Signal
@@ -56,6 +57,8 @@ class Simulator:
         # Last-seen input expressions per component, for change detection.
         self._last_inputs: Dict[Component, tuple] = {}
         self._dirty: Set[Component] = set(self._order)
+        # Counter values already pushed to the tracer (see publish_counters).
+        self._published = SimulatorStats()
 
     # ------------------------------------------------------------------
     # State and input management
@@ -127,10 +130,30 @@ class Simulator:
         for signal, expr in captured.items():
             self._set(signal, expr)
         self.stats.steps += 1
+        current_tracer().add("tlsim.cycles", 1)
 
     def run(self, cycles: int) -> None:
         for _ in range(cycles):
             self.step()
+
+    def publish_counters(self, prefix: str = "tlsim") -> None:
+        """Push the work counters accumulated since the last publish onto
+        the ambient tracer's current span (a no-op without a tracer)."""
+        tracer = current_tracer()
+        stats, last = self.stats, self._published
+        tracer.add(
+            f"{prefix}.component_evaluations",
+            stats.component_evaluations - last.component_evaluations,
+        )
+        tracer.add(
+            f"{prefix}.components_skipped",
+            stats.components_skipped - last.components_skipped,
+        )
+        self._published = SimulatorStats(
+            steps=stats.steps,
+            component_evaluations=stats.component_evaluations,
+            components_skipped=stats.components_skipped,
+        )
 
     def _require(self, signal: Signal) -> Expr:
         if signal not in self.values:

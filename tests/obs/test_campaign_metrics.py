@@ -1,0 +1,59 @@
+"""Per-job perf metrics must be journaled and survive crash-and-resume."""
+
+from repro.campaign import CampaignRunner, Job, JobResult
+from repro.core.results import VerificationResult
+from repro.processor.params import ProcessorConfig
+
+
+class TestJobResultMetrics:
+    def test_from_verification_captures_metrics(self):
+        config = ProcessorConfig(n_rob=2, issue_width=1)
+        result = VerificationResult(
+            config=config, method="rewriting", bug=None, correct=True,
+            timings={"total": 1.25, "sat": 0.5},
+        )
+        job_result = JobResult.from_verification(
+            Job.build(2, 1), "rewriting", 1, result
+        )
+        assert job_result.metrics["timings.total"] == 1.25
+        assert job_result.metrics["timings.sat"] == 0.5
+
+    def test_metrics_round_trip_through_dict(self):
+        original = JobResult(
+            job_id="j", status="PROVED", method="rewriting", attempts=1,
+            metrics={"timings.total": 2.0, "sat.conflicts": 9.0},
+        )
+        rebuilt = JobResult.from_dict(original.to_dict())
+        assert rebuilt.metrics == original.metrics
+
+    def test_legacy_records_without_metrics_still_load(self):
+        data = {"job_id": "j", "status": "PROVED"}
+        assert JobResult.from_dict(data).metrics == {}
+
+
+class TestCampaignJournalsMetrics:
+    def test_real_run_populates_metrics(self, tmp_path):
+        runner = CampaignRunner(str(tmp_path / "j.jsonl"))
+        job = Job.build(2, 1)
+        report = runner.run([job])
+        metrics = report.results[job.job_id].metrics
+        assert metrics["timings.total"] > 0
+        assert metrics["sat.decisions"] >= 0
+        assert "rewrite.entries_proved" in metrics
+
+    def test_metrics_survive_crash_and_resume(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        jobs = [Job.build(2, 1), Job.build(2, 2)]
+        first = CampaignRunner(path).run(jobs)
+        recorded = {
+            job_id: result.metrics
+            for job_id, result in first.results.items()
+        }
+        assert all(recorded.values())
+
+        # Simulate the crash-and-restart: a fresh runner over the same
+        # journal must replay the finished jobs without re-running them.
+        resumed = CampaignRunner(path).run(jobs)
+        for job_id, result in resumed.results.items():
+            assert result.from_journal
+            assert result.metrics == recorded[job_id]

@@ -1,0 +1,113 @@
+"""Exporter tests: span-tree rendering, JSON/Chrome round-trips, CSV."""
+
+from repro.obs import (
+    MetricsSnapshot,
+    Span,
+    Tracer,
+    metrics_to_csv,
+    render_span_tree,
+    trace_from_chrome,
+    trace_from_json,
+    trace_to_chrome,
+    trace_to_json,
+)
+from repro.core.reporting import render_span_tree as core_render_span_tree
+
+
+def sample_tree():
+    tracer = Tracer()
+    with tracer.span("verify"):
+        with tracer.span("simulate"):
+            tracer.add("tlsim.cycles", 13)
+        with tracer.span("translate"):
+            with tracer.span("tseitin"):
+                tracer.add("tseitin.cnf_vars", 17)
+        with tracer.span("sat"):
+            tracer.add("sat.conflicts", 7)
+    return tracer.root
+
+
+class TestRenderSpanTree:
+    def test_renders_names_indentation_and_counters(self):
+        text = render_span_tree(sample_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("verify")
+        assert lines[1].startswith("  simulate")
+        assert lines[3].startswith("    tseitin")
+        assert "tlsim.cycles=13" in text
+        assert "wall" in lines[0] and "cpu" in lines[0]
+
+    def test_counters_can_be_suppressed(self):
+        text = render_span_tree(sample_tree(), counters=False)
+        assert "tlsim.cycles" not in text
+
+    def test_core_reporting_delegate(self):
+        root = sample_tree()
+        assert core_render_span_tree(root) == render_span_tree(root)
+        titled = core_render_span_tree(root, title="Trace")
+        assert titled.startswith("Trace\nverify")
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self):
+        root = sample_tree()
+        rebuilt = trace_from_json(trace_to_json(root))
+        assert rebuilt.to_dict() == root.to_dict()
+
+
+class TestChromeTrace:
+    def test_event_shape(self):
+        root = sample_tree()
+        payload = trace_to_chrome(root)
+        events = payload["traceEvents"]
+        assert len(events) == 5
+        assert all(ev["ph"] == "X" for ev in events)
+        assert events[0]["name"] == "verify"
+        assert events[0]["ts"] == 0.0
+        # Microsecond durations: the root lasts at least as long as a child.
+        assert events[0]["dur"] >= events[1]["dur"]
+        sat = [ev for ev in events if ev["name"] == "sat"][0]
+        assert sat["args"]["counters"] == {"sat.conflicts": 7.0}
+
+    def test_round_trip_restores_names_nesting_and_counters(self):
+        root = sample_tree()
+        roots = trace_from_chrome(trace_to_chrome(root))
+        assert len(roots) == 1
+        rebuilt = roots[0]
+        assert [s.name for s in rebuilt.walk()] == [
+            s.name for s in root.walk()
+        ]
+        assert rebuilt.find("sat").counters == {"sat.conflicts": 7.0}
+        assert len(rebuilt.children) == 3
+
+    def test_round_trip_handles_zero_duration_siblings(self):
+        # Coincident zero-length intervals would be ambiguous under pure
+        # containment; the embedded indices must disambiguate them.
+        root = Span("root")
+        root.children = [Span("a"), Span("b")]
+        roots = trace_from_chrome(trace_to_chrome(root))
+        assert [c.name for c in roots[0].children] == ["a", "b"]
+        assert roots[0].children[0].children == []
+
+    def test_containment_fallback_for_foreign_traces(self):
+        payload = {
+            "traceEvents": [
+                {"name": "outer", "ph": "X", "ts": 0, "dur": 100,
+                 "pid": 1, "tid": 1},
+                {"name": "inner", "ph": "X", "ts": 10, "dur": 50,
+                 "pid": 1, "tid": 1},
+                {"name": "other-thread", "ph": "X", "ts": 20, "dur": 10,
+                 "pid": 1, "tid": 2},
+            ]
+        }
+        roots = trace_from_chrome(payload)
+        names = {root.name for root in roots}
+        assert names == {"outer", "other-thread"}
+        outer = [r for r in roots if r.name == "outer"][0]
+        assert [c.name for c in outer.children] == ["inner"]
+
+
+class TestCsv:
+    def test_sorted_rows_with_header(self):
+        snapshot = MetricsSnapshot(metrics={"b": 2.0, "a": 1.5})
+        assert metrics_to_csv(snapshot) == "metric,value\na,1.5\nb,2\n"

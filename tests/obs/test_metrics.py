@@ -1,0 +1,140 @@
+"""Metrics registry, snapshot persistence, and the tolerance comparator."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TOLERANCES,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Tolerance,
+    compare_snapshots,
+)
+
+
+class TestRegistry:
+    def test_inc_set_and_merge(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 2)
+        registry.set_gauge("g", 1.5)
+        registry.merge({"a": 1, "b": 4})
+        assert registry.values() == {"a": 4.0, "b": 4.0, "g": 1.5}
+        registry.clear()
+        assert registry.values() == {}
+
+    def test_snapshot_freezes_values(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        snapshot = registry.snapshot(meta={"run": "x"})
+        registry.inc("a")
+        assert snapshot.metrics == {"a": 1.0}
+        assert snapshot.meta == {"run": "x"}
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                registry.inc("n")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.values()["n"] == 4000.0
+
+
+class TestSnapshotPersistence:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "nested" / "snap.json"
+        snapshot = MetricsSnapshot(
+            metrics={"sat.conflicts": 7.0}, meta={"config": "N=4, k=2"}
+        )
+        snapshot.save(path)
+        loaded = MetricsSnapshot.load(path)
+        assert loaded.metrics == snapshot.metrics
+        assert loaded.meta == snapshot.meta
+
+
+class TestTolerances:
+    def test_limit_combines_relative_and_absolute(self):
+        tol = Tolerance(rel=0.5, abs=2.0)
+        assert tol.limit(10.0) == pytest.approx(17.0)
+
+    def test_default_rules_are_generous_for_timings_only(self):
+        timing = [t for p, t in DEFAULT_TOLERANCES if p == "timings.*"][0]
+        catch_all = [t for p, t in DEFAULT_TOLERANCES if p == "*"][0]
+        assert timing.rel > 0 and timing.abs > 0
+        assert catch_all.rel == 0 and catch_all.abs == 0
+
+
+class TestCompare:
+    def snap(self, **metrics):
+        return MetricsSnapshot(metrics={k: float(v) for k, v in metrics.items()})
+
+    def test_identical_snapshots_pass(self):
+        base = self.snap(**{"sat.conflicts": 7, "timings.total": 1.0})
+        report = compare_snapshots(base, base)
+        assert report.ok
+        assert report.regressions == []
+
+    def test_count_increase_is_a_regression(self):
+        report = compare_snapshots(
+            self.snap(**{"sat.conflicts": 7}), self.snap(**{"sat.conflicts": 8})
+        )
+        assert not report.ok
+        assert [d.name for d in report.regressions] == ["sat.conflicts"]
+
+    def test_decrease_is_never_a_regression(self):
+        report = compare_snapshots(
+            self.snap(**{"sat.conflicts": 7, "timings.total": 5.0}),
+            self.snap(**{"sat.conflicts": 2, "timings.total": 0.1}),
+        )
+        assert report.ok
+
+    def test_timing_noise_is_tolerated_by_default(self):
+        report = compare_snapshots(
+            self.snap(**{"timings.total": 0.010}),
+            self.snap(**{"timings.total": 0.100}),
+        )
+        assert report.ok
+
+    def test_first_matching_rule_wins(self):
+        rules = [
+            ("sat.*", Tolerance(rel=1.0)),
+            ("*", Tolerance()),
+        ]
+        report = compare_snapshots(
+            self.snap(**{"sat.conflicts": 10}),
+            self.snap(**{"sat.conflicts": 19}),
+            rules=rules,
+        )
+        assert report.ok
+
+    def test_missing_metric_is_a_regression(self):
+        report = compare_snapshots(
+            self.snap(**{"sat.conflicts": 7}), self.snap()
+        )
+        assert not report.ok
+        assert report.regressions[0].note == "metric disappeared"
+
+    def test_new_metric_is_informational(self):
+        report = compare_snapshots(
+            self.snap(), self.snap(**{"sat.conflicts": 7})
+        )
+        assert report.ok
+        assert report.deltas[0].note == "new metric"
+
+    def test_render_and_to_dict(self):
+        report = compare_snapshots(
+            self.snap(**{"sat.conflicts": 7}), self.snap(**{"sat.conflicts": 9})
+        )
+        text = report.render()
+        assert "1 regression(s)" in text
+        assert "sat.conflicts" in text
+        data = report.to_dict()
+        assert data["ok"] is False
+        assert data["regressions"] == ["sat.conflicts"]

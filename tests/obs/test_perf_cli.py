@@ -1,0 +1,124 @@
+"""CLI tests for ``python -m repro perf`` and ``python -m repro trace``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.obs.cli import _parse_tolerance, perf_main, trace_main
+from repro.obs.metrics import MetricsSnapshot, Tolerance
+
+
+RUN = ["--rob", "2", "--width", "1"]
+
+
+class TestParseTolerance:
+    def test_rel_only(self):
+        pattern, tol = _parse_tolerance("timings.*=rel:0.5")
+        assert pattern == "timings.*"
+        assert tol == Tolerance(rel=0.5, abs=0.0)
+
+    def test_rel_plus_abs(self):
+        _, tol = _parse_tolerance("sat.*=rel:1+abs:10")
+        assert tol == Tolerance(rel=1.0, abs=10.0)
+
+    @pytest.mark.parametrize(
+        "bad", ["no-equals", "x=rel", "x=nope:1", "x=rel:1:abs"]
+    )
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ValueError):
+            _parse_tolerance(bad)
+
+
+class TestPerfRecordCompare:
+    def test_record_then_compare_is_clean(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert perf_main(["record", *RUN, "--out", str(base)]) == 0
+        snapshot = MetricsSnapshot.load(base)
+        assert snapshot.metrics["timings.total"] > 0
+        assert snapshot.metrics["sat.decisions"] >= 0
+
+        current = tmp_path / "current.json"
+        assert perf_main(["record", *RUN, "--out", str(current)]) == 0
+        code = perf_main(["compare", str(base), str(current)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no regressions" in out
+
+    def test_perturbed_count_fails_the_gate(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        perf_main(["record", *RUN, "--out", str(base)])
+        snapshot = MetricsSnapshot.load(base)
+        worse = MetricsSnapshot(
+            metrics=dict(snapshot.metrics), meta=dict(snapshot.meta)
+        )
+        worse.metrics["sat.decisions"] = snapshot.metrics["sat.decisions"] + 50
+        current = tmp_path / "current.json"
+        worse.save(current)
+        assert perf_main(["compare", str(base), str(current)]) == 1
+        assert "sat.decisions" in capsys.readouterr().out
+
+    def test_tolerance_override_can_absorb_the_perturbation(self, tmp_path):
+        base = tmp_path / "base.json"
+        perf_main(["record", *RUN, "--out", str(base)])
+        snapshot = MetricsSnapshot.load(base)
+        snapshot.metrics["sat.decisions"] += 50
+        current = tmp_path / "current.json"
+        snapshot.save(current)
+        code = perf_main(
+            ["compare", str(base), str(current),
+             "--tol", "sat.decisions=abs:100"]
+        )
+        assert code == 0
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        perf_main(["record", *RUN, "--out", str(base)])
+        capsys.readouterr()  # drain the record command's output
+        code = perf_main(["compare", str(base), str(base), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+    def test_missing_snapshot_is_a_setup_error(self, tmp_path, capsys):
+        code = perf_main(
+            ["compare", str(tmp_path / "nope.json"), str(tmp_path / "x.json")]
+        )
+        assert code == 2
+        assert "perf compare error" in capsys.readouterr().err
+
+    def test_record_writes_trace_and_csv_sidecars(self, tmp_path):
+        base = tmp_path / "base.json"
+        trace = tmp_path / "trace.json"
+        csv = tmp_path / "metrics.csv"
+        code = perf_main(
+            ["record", *RUN, "--out", str(base),
+             "--trace-out", str(trace), "--csv-out", str(csv)]
+        )
+        assert code == 0
+        chrome = json.loads(trace.read_text())
+        assert chrome["traceEvents"][0]["name"] == "verify"
+        assert csv.read_text().startswith("metric,value\n")
+
+
+class TestTraceCommand:
+    def test_tree_output(self, capsys):
+        assert trace_main([*RUN]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("verify")
+        assert "simulate" in out and "sat" in out
+
+    def test_chrome_output_to_file(self, tmp_path):
+        out = tmp_path / "t.json"
+        assert trace_main([*RUN, "--format", "chrome", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+
+
+class TestMainDispatch:
+    def test_main_routes_perf_and_trace(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert repro_main(["perf", "record", *RUN, "--out", str(base)]) == 0
+        assert repro_main(["trace", *RUN]) == 0
+        assert base.exists()
+        assert "verify" in capsys.readouterr().out

@@ -1,0 +1,56 @@
+"""Property tests over randomly shaped span trees.
+
+Two invariants: a span's wall time dominates the sum of its children's
+(children are strictly nested under a monotonic clock), and the Chrome
+trace-event export round-trips the exact names and nesting.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import Tracer, trace_from_chrome, trace_to_chrome
+
+#: (name, [children]) recursive tree shapes.
+_names = st.sampled_from(["verify", "simulate", "translate", "sat", "x"])
+_trees = st.recursive(
+    st.tuples(_names, st.just([])),
+    lambda children: st.tuples(_names, st.lists(children, max_size=3)),
+    max_leaves=10,
+)
+
+#: float rounding slack when subtracting two perf_counter readings.
+_EPS = 1e-6
+
+
+def _execute(tracer, node):
+    name, children = node
+    with tracer.span(name) as span:
+        span.add("opened", 1)
+        for child in children:
+            _execute(tracer, child)
+
+
+def _shape(span):
+    return (span.name, [_shape(child) for child in span.children])
+
+
+@settings(max_examples=100, deadline=None)
+@given(_trees)
+def test_span_wall_dominates_children(tree):
+    tracer = Tracer()
+    _execute(tracer, tree)
+    for span in tracer.root.walk():
+        children_wall = sum(child.wall_seconds for child in span.children)
+        assert span.wall_seconds + _EPS >= children_wall
+
+
+@settings(max_examples=100, deadline=None)
+@given(_trees)
+def test_chrome_export_round_trips_names_and_nesting(tree):
+    tracer = Tracer()
+    _execute(tracer, tree)
+    roots = trace_from_chrome(trace_to_chrome(tracer.root))
+    assert len(roots) == 1
+    assert _shape(roots[0]) == _shape(tracer.root)
+    # Every span carries its counter through the round-trip.
+    for span in roots[0].walk():
+        assert span.counters == {"opened": 1.0}

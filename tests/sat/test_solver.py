@@ -65,6 +65,25 @@ class TestBasics:
         assert result.cpu_seconds >= 0.0
         assert result.propagations >= 1
 
+    def test_search_statistics_populated(self):
+        # Hard enough to force clause learning, deep decision levels and
+        # at least one Luby restart (the restart base is 100 conflicts).
+        cnf = _cnf(30, _php_clauses(6, 5))
+        result = solve_cnf(cnf)
+        assert result.is_unsat
+        assert result.learned_clauses >= 1
+        assert result.restarts >= 1
+        assert 2 <= result.max_decision_level <= cnf.num_vars
+
+    def test_trivial_instance_has_quiet_search_stats(self):
+        # A unit clause needs no decisions, so no restarts, no learned
+        # clauses, and the decision stack never grows.
+        result = solve_cnf(_cnf(1, [[1]]))
+        assert result.is_sat
+        assert result.restarts == 0
+        assert result.learned_clauses == 0
+        assert result.max_decision_level == 0
+
 
 def _php_clauses(pigeons, holes):
     def var(i, j):
