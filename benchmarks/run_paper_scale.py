@@ -12,7 +12,9 @@ where it left off (re-invoke the same command), budgets escalate 2x on
 retries, and a configuration that exhausts every budget is recorded as
 INCONCLUSIVE instead of aborting the sweep — the same protocol the paper
 applies with its 4 GB memory limit.  Pass ``--fresh`` to discard previous
-progress.  The table is appended to ``benchmarks/results/paper_scale.txt``.
+progress and ``--workers N`` to fan the configurations out to a worker
+pool (the parent stays the sole journal writer, so resume still works).
+The table is appended to ``benchmarks/results/paper_scale.txt``.
 """
 
 from __future__ import annotations
@@ -58,6 +60,12 @@ def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--max-rob", type=int, default=1500)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run configurations in a worker pool of this size",
+    )
+    parser.add_argument(
         "--fresh",
         action="store_true",
         help="discard the journal of a previous (partial) run",
@@ -92,6 +100,7 @@ def main() -> int:
         # escalation mirrors the paper's rerun-after-memory-kill protocol.
         retry=RetryPolicy(max_attempts=3, escalation=2.0),
         on_result=on_result,
+        workers=args.workers,
     )
     report = runner.run(jobs)
 

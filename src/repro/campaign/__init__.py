@@ -15,6 +15,11 @@ infrastructure the paper assumes but never ships:
   per-attempt budgets, retry with exponential budget escalation, journal
   resume, and graceful degradation to Positive Equality or a structured
   ``INCONCLUSIVE`` outcome;
+* :mod:`~repro.campaign.executor` — the per-job attempt loop, shared by
+  the sequential path and the parallel workers;
+* :mod:`~repro.campaign.parallel` — process-parallel execution
+  (``CampaignRunner(..., workers=N)``); workers stream their would-be
+  journal records to the parent, which stays the single journal writer;
 * :mod:`~repro.campaign.faults` — a deterministic fault-injection
   harness so the recovery paths are themselves testable.
 

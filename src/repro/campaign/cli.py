@@ -13,11 +13,17 @@ same command after an interruption re-runs only unfinished jobs.  Exit
 status: 0 when every job is ``PROVED``, 1 when any job is ``BUG_FOUND``,
 4 when any job is ``INCONCLUSIVE``, 2 on a campaign setup error.
 
+``--workers N`` fans jobs out to N worker processes; the parent stays
+the single journal writer, so resume semantics are identical to a
+sequential run.  ``--inject KIND@JOB_ID[:ATTEMPT]`` plants a
+deterministic fault (for smoke-testing the recovery paths, e.g. in CI).
+
 Examples::
 
     python -m repro campaign --journal camp.jsonl --grid 4x2,8x2,8x4
     python -m repro campaign --journal camp.jsonl --spec jobs.json \
         --max-attempts 4 --escalation 2.0
+    python -m repro campaign --journal camp.jsonl --grid 8x2 --workers 4
     python -m repro campaign --journal camp.jsonl        # resume
 """
 
@@ -31,6 +37,7 @@ from typing import List, Optional
 
 from ..errors import CampaignError, JournalError
 from ..processor.bugs import BugKind
+from .faults import Fault, FaultPlan
 from .jobs import Job
 from .runner import CampaignRunner, DegradePolicy, RetryPolicy
 
@@ -133,6 +140,22 @@ def build_parser() -> argparse.ArgumentParser:
         "findings in the journal",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan jobs out to N worker processes (default 1: in-process); "
+        "the parent remains the single journal writer",
+    )
+    parser.add_argument(
+        "--inject",
+        action="append",
+        default=[],
+        metavar="KIND@JOB_ID[:ATTEMPT]",
+        help="plant a deterministic fault (repeatable), e.g. "
+        "solver-timeout@rw-N4-k2:1; see repro.campaign.faults for kinds",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
     return parser
@@ -190,6 +213,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs = _collect_jobs(args)
         if args.fresh and os.path.exists(args.journal):
             os.remove(args.journal)
+        fault_plan = None
+        if args.inject:
+            fault_plan = FaultPlan(Fault.parse(text) for text in args.inject)
         runner = CampaignRunner(
             args.journal,
             retry=RetryPolicy(
@@ -203,9 +229,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             degrade=DegradePolicy(
                 fallback_method=None if args.no_degrade else "positive_equality"
             ),
+            fault_plan=fault_plan,
             log=log,
             strict_journal=args.strict_journal,
             analyze=args.analyze,
+            workers=args.workers,
         )
         report = runner.run(jobs)
     except (CampaignError, JournalError, OSError) as exc:

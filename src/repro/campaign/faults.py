@@ -21,6 +21,16 @@ the seam where the runner hands a job to :func:`repro.core.verify`:
 Because injected failures use the same exception types as real ones, the
 runner cannot distinguish drill from emergency — the recovery machinery
 under test is the production machinery.
+
+Parallel campaigns (``CampaignRunner(..., workers=N)``) partition a plan
+deterministically by job id: each worker receives exactly the faults of
+the job it is about to run (:meth:`FaultPlan.for_job`), so ``--workers N``
+reproduces the same injected faults as a sequential run regardless of
+which worker a job lands on.  Two kinds change scope in a worker:
+``crash`` kills only that worker process (the parent journals a failed
+attempt and retries the job), and ``journal-corrupt`` degrades to a plain
+crash — workers hold no journal handle, which is the single-writer
+invariant itself, so there is no tail for them to tear.
 """
 
 from __future__ import annotations
@@ -81,6 +91,44 @@ class Fault:
         if self.attempt < 1:
             raise CampaignError("fault attempt numbers are 1-based")
 
+    def to_dict(self) -> Dict[str, object]:
+        """Picklable/JSON form (the shape worker task messages carry)."""
+        return {
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "attempt": self.attempt,
+            "method": self.method,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Fault":
+        return cls(**data)
+
+    @classmethod
+    def parse(cls, text: str) -> "Fault":
+        """Parse the CLI form ``KIND@JOB_ID[:ATTEMPT]``.
+
+        Examples: ``solver-timeout@rw-N4-k2`` (attempt 1),
+        ``oom@rw-N8-k2:2`` (attempt 2).
+        """
+        if "@" not in text:
+            raise CampaignError(
+                f"bad fault spec {text!r}; expected KIND@JOB_ID[:ATTEMPT]"
+            )
+        kind, _, target = text.partition("@")
+        job_id, _, attempt_text = target.rpartition(":")
+        if not job_id:
+            job_id, attempt_text = target, ""
+        try:
+            attempt = int(attempt_text) if attempt_text else 1
+        except ValueError:
+            raise CampaignError(
+                f"bad fault spec {text!r}; attempt {attempt_text!r} "
+                "is not an integer"
+            )
+        return cls(kind=kind.strip(), job_id=job_id, attempt=attempt)
+
 
 class FaultPlan:
     """A deterministic, one-shot schedule of faults."""
@@ -103,6 +151,15 @@ class FaultPlan:
     @property
     def fired(self) -> int:
         return len(self._fired)
+
+    def for_job(self, job_id: str) -> Tuple[Fault, ...]:
+        """This job's faults — the deterministic per-job partition that a
+        parallel worker receives, ordered by attempt number."""
+        return tuple(
+            fault
+            for (fid, _), fault in sorted(self._by_key.items())
+            if fid == job_id
+        )
 
     def fire(
         self, job_id: str, attempt: int, method: str,

@@ -132,6 +132,9 @@ class JobResult:
     #: (``timings.*``, ``sat.*``, ``rewrite.*``, ``trace.*``, ...);
     #: journaled with the finish record so they survive crash-and-resume.
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: id of the worker process that produced this result under
+    #: ``CampaignRunner(..., workers=N)``; ``None`` for in-process runs.
+    worker: Optional[int] = None
     #: True when this result was replayed from the journal, not re-run.
     from_journal: bool = False
 
@@ -183,6 +186,7 @@ class JobResult:
             "stats": self.stats,
             "diagnostics": self.diagnostics,
             "metrics": self.metrics,
+            "worker": self.worker,
         }
 
     @classmethod
@@ -198,4 +202,5 @@ class JobResult:
             stats=dict(data.get("stats", {})),
             diagnostics=list(data.get("diagnostics", [])),
             metrics=dict(data.get("metrics", {})),
+            worker=data.get("worker"),
         )

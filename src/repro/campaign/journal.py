@@ -18,12 +18,21 @@ Event vocabulary written by the runner:
   from the journal alone;
 * ``start`` — one attempt began (job id, attempt number, method, budget);
 * ``attempt_failed`` — the attempt ended without a verdict (budget
-  exhausted, injected fault, ...), and why;
+  exhausted, injected fault, a worker process that died mid-job —
+  error ``WorkerCrashed``, ...), and why;
 * ``finish`` — the job reached a terminal state; the full
-  :class:`~repro.campaign.jobs.JobResult` payload.
+  :class:`~repro.campaign.jobs.JobResult` payload;
+* ``callback_error`` — the user's ``on_result`` callback raised; the
+  exception was contained and the campaign continued.
 
 A job with a ``start`` but no ``finish`` was in flight when the process
 died and is re-run on resume; a job with a ``finish`` is never re-run.
+
+The journal has exactly one writer.  In parallel campaigns
+(``CampaignRunner(..., workers=N)``) the worker processes stream their
+would-be records to the parent over a result queue and the parent alone
+appends them, so records of concurrent jobs interleave but every per-job
+subsequence reads exactly like a sequential run's.
 """
 
 from __future__ import annotations
@@ -185,6 +194,10 @@ class JournalReplay:
             key = (rec.get("job_id", ""), rec.get("method", ""))
             counts[key] = counts.get(key, 0) + 1
         return counts
+
+    def callback_errors(self) -> List[Dict[str, Any]]:
+        """``callback_error`` records, in journal order."""
+        return list(self.events("callback_error"))
 
     def in_flight(self) -> Dict[str, Dict[str, Any]]:
         """Jobs that started but never reached a terminal state."""

@@ -1,0 +1,349 @@
+"""Process-parallel campaign execution with a single-writer journal.
+
+Topology: the parent process owns the journal and a pool of
+:mod:`multiprocessing` workers.  Each worker runs whole jobs (the full
+retry/degrade loop of :class:`~repro.campaign.executor.JobExecutor`) and
+streams the records the sequential runner would journal — ``start``,
+``attempt_failed``, finally ``done`` with the serialized
+:class:`~repro.campaign.jobs.JobResult` — over one shared result queue.
+Only the parent ever appends to the journal, so crash-resume, torn-tail
+tolerance, and replay semantics are byte-for-byte those of a sequential
+run; the records of concurrent jobs merely interleave, which the replay
+logic (keyed by job id) never cared about.
+
+Durability: the result queue is a ``SimpleQueue``, whose ``put`` writes
+synchronously to the pipe under a lock — no feeder thread, so every event
+a worker emitted before dying is readable by the parent.  A worker that
+dies mid-job (an :class:`~repro.campaign.faults.InjectedCrash`, a
+segfault, an OOM kill) is detected by process liveness; the parent
+journals the in-flight attempt as ``attempt_failed`` with error
+``WorkerCrashed``, re-queues the job — whose escalation schedule resumes
+from the journaled failure counts, exactly like a campaign-level resume —
+and spawns a replacement worker.  A job that crashes its worker on every
+attempt therefore converges to ``INCONCLUSIVE`` instead of looping.
+
+Each worker installs its own ambient :class:`~repro.obs.tracer.Tracer`
+(the ``obs`` ContextVar is per-process state) and ships per-job wall/CPU
+seconds back for parent-side merging into the campaign metrics registry.
+Fault plans are partitioned deterministically by job id
+(:meth:`FaultPlan.for_job`), so ``workers=N`` fires the same injected
+faults as a sequential run of the same plan.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import CampaignError
+from .executor import JobExecutor
+from .faults import Fault, FaultPlan, InjectedCrash
+from .jobs import Job, JobResult
+from .journal import Journal
+
+__all__ = ["ParallelCampaignExecutor", "WORKER_CRASH_ERROR"]
+
+#: ``error`` value journaled for attempts whose worker process died.
+WORKER_CRASH_ERROR = "WorkerCrashed"
+
+#: Exit status a worker uses to simulate process death on InjectedCrash
+#: (os._exit: no cleanup, no queue flushing — as close to kill -9 as a
+#: Python exception can get).
+_CRASH_EXIT_CODE = 70
+
+
+def _campaign_context() -> multiprocessing.context.BaseContext:
+    """Fork when the platform has it (cheap, inherits verify_fn closures);
+    spawn otherwise — worker task messages are picklable either way."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _worker_main(
+    worker_id: int, inbox: Any, outbox: Any, options: Dict[str, Any]
+) -> None:
+    """Worker loop: pull job tasks until the ``None`` shutdown sentinel."""
+    from ..obs.tracer import Tracer, use_tracer
+
+    verify_fn = options.get("verify_fn")
+    if verify_fn is None:
+        from ..core.verifier import verify as verify_fn
+
+    while True:
+        task = inbox.get()
+        if task is None:
+            return
+        job = Job.from_dict(task["job"])
+        faults = [Fault.from_dict(spec) for spec in task["faults"]]
+        failed_attempts = {
+            (job.job_id, method): count
+            for method, count in task["failed_attempts"].items()
+        }
+        executor = JobExecutor(
+            verify_fn,
+            options["retry"],
+            options["degrade"],
+            fault_plan=FaultPlan(faults) if faults else None,
+            analyze=options["analyze"],
+            log=lambda text: outbox.put({"event": "log", "text": text}),
+            # Workers never hold the journal: the single-writer invariant.
+            fault_journal=None,
+        )
+        # A fresh ambient tracer per process: the obs ContextVar is
+        # per-process state, so worker spans never mix with the parent's.
+        tracer = Tracer()
+        try:
+            with use_tracer(tracer):
+                with tracer.span("campaign.job"):
+                    result = executor.run_job(job, outbox.put, failed_attempts)
+        except InjectedCrash:
+            os._exit(_CRASH_EXIT_CODE)
+        result.worker = worker_id
+        span = tracer.root
+        outbox.put({
+            "event": "done",
+            "job_id": job.job_id,
+            "result": result.to_dict(),
+            "worker_metrics": {
+                "campaign.jobs_run": 1.0,
+                "campaign.job_seconds": span.wall_seconds,
+                "campaign.job_cpu_seconds": span.cpu_seconds,
+            },
+        })
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = ("worker_id", "process", "inbox", "job")
+
+    def __init__(self, worker_id: int, process, inbox) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.inbox = inbox
+        self.job: Optional[Job] = None
+
+
+class ParallelCampaignExecutor:
+    """Fans jobs out to worker processes; the parent is the sole journal
+    writer.  See the module docstring for the protocol."""
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        retry,
+        degrade,
+        analyze: bool,
+        verify_fn: Optional[Callable],
+        fault_plan: Optional[FaultPlan],
+        journal: Journal,
+        log: Callable[[str], None],
+        failed_attempts: Dict[Tuple[str, str], int],
+        on_finish: Callable[[Job, JobResult], None],
+        merge_metrics: Callable[[Dict[str, float]], None],
+    ) -> None:
+        if workers < 1:
+            raise CampaignError("workers must be at least 1")
+        self.workers = workers
+        self._options = {
+            "retry": retry,
+            "degrade": degrade,
+            "analyze": analyze,
+            "verify_fn": verify_fn,
+        }
+        self._fault_plan = fault_plan
+        self._journal = journal
+        self._log = log
+        self._failed = failed_attempts
+        self._on_finish = on_finish
+        self._merge_metrics = merge_metrics
+        self._ctx = _campaign_context()
+        #: worker processes that died mid-job (each journaled + retried).
+        self.worker_crashes = 0
+        self._outbox = self._ctx.SimpleQueue()
+        self._pool: List[_WorkerHandle] = []
+        self._next_worker_id = 0
+        #: (attempt, method) of the event-confirmed in-flight attempt.
+        self._in_flight: Dict[str, Tuple[int, str]] = {}
+        #: last method a job was seen starting (survives attempt_failed).
+        self._last_method: Dict[str, str] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def run(self, jobs: List[Job]) -> None:
+        """Run every job to a terminal state; returns when all finished."""
+        self._pending = deque(jobs)
+        self._jobs_by_id = {job.job_id: job for job in jobs}
+        remaining = len(jobs)
+        for _ in range(min(self.workers, remaining)):
+            self._spawn_worker()
+        try:
+            while remaining > 0:
+                self._dispatch()
+                if self._poll(0.2):
+                    remaining -= self._handle(self._outbox.get())
+                else:
+                    remaining -= self._reap_dead_workers()
+        finally:
+            self._shutdown()
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        inbox = self._ctx.SimpleQueue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, inbox, self._outbox, self._options),
+            name=f"campaign-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        handle = _WorkerHandle(worker_id, process, inbox)
+        self._pool.append(handle)
+        return handle
+
+    def _shutdown(self) -> None:
+        for handle in self._pool:
+            if handle.process.is_alive():
+                try:
+                    handle.inbox.put(None)
+                except (OSError, ValueError):  # pragma: no cover - racing exit
+                    pass
+        for handle in self._pool:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+
+    # -- scheduling ------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Hand pending jobs to idle workers (one job per worker)."""
+        for handle in self._pool:
+            if not self._pending:
+                return
+            if handle.job is not None or not handle.process.is_alive():
+                continue
+            job = self._pending.popleft()
+            faults = (
+                self._fault_plan.for_job(job.job_id)
+                if self._fault_plan is not None
+                else ()
+            )
+            handle.inbox.put({
+                "job": job.to_dict(),
+                "failed_attempts": {
+                    method: count
+                    for (job_id, method), count in self._failed.items()
+                    if job_id == job.job_id
+                },
+                "faults": [fault.to_dict() for fault in faults],
+            })
+            handle.job = job
+
+    def _poll(self, timeout: float) -> bool:
+        """True when a result-queue message is ready within ``timeout``."""
+        reader = getattr(self._outbox, "_reader", None)
+        if reader is not None:
+            return reader.poll(timeout)
+        if timeout:  # pragma: no cover - SimpleQueue always has _reader
+            time.sleep(timeout)
+        return not self._outbox.empty()  # pragma: no cover
+
+    # -- event handling --------------------------------------------------
+
+    def _handle(self, message: Dict[str, Any]) -> int:
+        """Process one worker message; returns 1 when a job finished."""
+        event = message.get("event")
+        if event == "log":
+            self._log(message.get("text", ""))
+            return 0
+        if event == "start":
+            job_id = message["job_id"]
+            self._in_flight[job_id] = (message["attempt"], message["method"])
+            self._last_method[job_id] = message["method"]
+            self._journal.append(message)
+            return 0
+        if event == "attempt_failed":
+            key = (message["job_id"], message["method"])
+            self._failed[key] = self._failed.get(key, 0) + 1
+            self._in_flight.pop(message["job_id"], None)
+            self._journal.append(message)
+            return 0
+        if event == "done":
+            job_id = message["job_id"]
+            self._in_flight.pop(job_id, None)
+            self._last_method.pop(job_id, None)
+            for handle in self._pool:
+                if handle.job is not None and handle.job.job_id == job_id:
+                    handle.job = None
+                    break
+            self._merge_metrics(message.get("worker_metrics", {}))
+            result = JobResult.from_dict(message["result"])
+            self._on_finish(self._jobs_by_id[job_id], result)
+            return 1
+        raise CampaignError(  # pragma: no cover - protocol guard
+            f"unknown worker message {event!r}"
+        )
+
+    def _reap_dead_workers(self) -> int:
+        """Detect crashed workers; journal + requeue their in-flight jobs.
+
+        Returns the number of jobs completed by messages that were still
+        queued from a worker that has since exited.
+        """
+        completed = 0
+        dead = [h for h in self._pool if not h.process.is_alive()]
+        if not dead:
+            return 0
+        # Drain everything the dead workers managed to send first — a
+        # worker that finished its job and then exited is not a crash.
+        while self._poll(0):
+            completed += self._handle(self._outbox.get())
+        for handle in dead:
+            self._pool.remove(handle)
+            job = handle.job
+            if job is None:
+                continue
+            exitcode = handle.process.exitcode
+            attempt, method = self._in_flight.pop(
+                job.job_id,
+                (None, self._last_method.get(job.job_id, job.method)),
+            )
+            if attempt is None:
+                attempt = self._failed.get((job.job_id, method), 0) + 1
+            self._journal.append({
+                "event": "attempt_failed",
+                "job_id": job.job_id,
+                "attempt": attempt,
+                "method": method,
+                "error": WORKER_CRASH_ERROR,
+                "detail": (
+                    f"worker {handle.worker_id} exited with code {exitcode} "
+                    f"mid-attempt; job re-queued"
+                ),
+            })
+            self._failed[(job.job_id, method)] = (
+                self._failed.get((job.job_id, method), 0) + 1
+            )
+            self.worker_crashes += 1
+            self._log(
+                f"{job.job_id}: worker {handle.worker_id} crashed "
+                f"(exit {exitcode}); journaled failed attempt {attempt} "
+                f"and re-queued"
+            )
+            self._pending.appendleft(job)
+        # Keep the pool sized to the remaining work.
+        alive = sum(1 for h in self._pool if h.process.is_alive())
+        busy = sum(1 for h in self._pool if h.job is not None)
+        want = min(self.workers, busy + len(self._pending))
+        while alive < want:
+            self._spawn_worker()
+            alive += 1
+        return completed

@@ -20,14 +20,26 @@ before/after it happens, so a killed campaign resumes exactly where it
 left off: finished jobs are never re-run, recorded failed attempts keep
 their place in the escalation schedule, and the attempt that was in
 flight at the kill is re-run at the same budget.
+
+With ``workers > 1`` jobs fan out to a :mod:`multiprocessing` pool
+(:mod:`repro.campaign.parallel`).  The parent process remains the single
+journal writer — workers stream their would-be journal records back over
+a result queue — so every journal and resume property above is
+unchanged; a worker that dies mid-job is journaled as a failed attempt
+(error ``WorkerCrashed``) and the job is retried under the same
+:class:`RetryPolicy` schedule.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from ..errors import BudgetExhausted, CampaignError, ReproError
+from ..errors import CampaignError
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer, use_tracer
+from .executor import JobExecutor
 from .faults import FaultPlan
 from .jobs import Job, JobResult
 from .journal import Journal
@@ -101,6 +113,16 @@ class CampaignReport:
     corrupt_lines: int = 0
     #: True when the journal ended in a torn line (crash signature).
     torn_tail: bool = False
+    #: worker processes the campaign ran with (1 = in-process).
+    workers: int = 1
+    #: wall-clock seconds of this run (excludes replayed work).
+    wall_seconds: float = 0.0
+    #: ``on_result`` callback invocations that raised (and were contained).
+    callback_errors: int = 0
+    #: campaign-wide metrics: per-job verification metrics summed across
+    #: jobs plus ``campaign.*`` scheduling counters (jobs run, per-job
+    #: wall/CPU seconds, worker crashes).
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     def counts(self) -> Dict[str, int]:
         tally: Dict[str, int] = {}
@@ -135,8 +157,17 @@ class CampaignReport:
         tally = ", ".join(
             f"{count} {status}" for status, count in sorted(self.counts().items())
         )
-        lines.append(f"{len(self.results)} job(s): {tally}"
-                     f" ({self.replayed} replayed from journal)")
+        workers = f", {self.workers} workers" if self.workers > 1 else ""
+        lines.append(
+            f"{len(self.results)} job(s): {tally}"
+            f" ({self.replayed} replayed from journal"
+            f"{workers}, {self.wall_seconds:.2f}s wall)"
+        )
+        if self.callback_errors:
+            lines.append(
+                f"warning: {self.callback_errors} on_result callback "
+                "error(s) were journaled and skipped"
+            )
         if self.corrupt_lines:
             lines.append(
                 f"warning: skipped {self.corrupt_lines} corrupt journal line(s)"
@@ -155,12 +186,17 @@ class CampaignRunner:
         fault_plan: optional :class:`~repro.campaign.faults.FaultPlan`
             consulted at the verify seam on every attempt.
         on_result: callback invoked with ``(job, result)`` after every job
-            reaches a terminal state (including journal replays).
+            reaches a terminal state (including journal replays).  An
+            exception it raises is journaled as a ``callback_error`` event
+            and the campaign continues; it does not abort the batch.
         log: line sink for progress messages (e.g. ``print``).
         analyze: run the :mod:`repro.analysis` soundness analyzers on
             every verification; their findings ride in
             :attr:`JobResult.diagnostics` and the journal's finish
             records, so they survive crash-and-resume.
+        workers: worker processes to fan jobs out to; ``1`` (the default)
+            runs everything in this process.  The parent stays the single
+            journal writer either way (see :mod:`repro.campaign.parallel`).
     """
 
     def __init__(
@@ -174,9 +210,13 @@ class CampaignRunner:
         log: Optional[Callable[[str], None]] = None,
         strict_journal: bool = False,
         analyze: bool = False,
+        workers: int = 1,
     ) -> None:
+        self._verify_is_default = verify_fn is None
         if verify_fn is None:
             from ..core.verifier import verify as verify_fn
+        if workers < 1:
+            raise CampaignError("workers must be at least 1")
         self.journal_path = journal_path
         self.retry = retry or RetryPolicy()
         self.degrade = degrade or DegradePolicy()
@@ -186,6 +226,7 @@ class CampaignRunner:
         self._log = log or (lambda message: None)
         self.strict_journal = strict_journal
         self.analyze = analyze
+        self.workers = workers
 
     # ------------------------------------------------------------------
 
@@ -194,8 +235,13 @@ class CampaignRunner:
 
         With ``jobs=None`` the job list is recovered from the journal's
         ``enqueue`` records, so ``CampaignRunner(path).run()`` resumes an
-        interrupted campaign without re-supplying the spec.
+        interrupted campaign without re-supplying the spec.  When ``jobs``
+        *is* supplied on resume, each job is checked against the journaled
+        spec of the same id; any drift raises :class:`CampaignError`
+        naming the fields, instead of silently running one spec while the
+        journal records another.
         """
+        started = time.perf_counter()
         replay = Journal.load(self.journal_path, strict=self.strict_journal)
         known_specs = replay.job_specs()
         if jobs is None:
@@ -214,16 +260,21 @@ class CampaignRunner:
             if job.job_id in seen:
                 raise CampaignError(f"duplicate job id {job.job_id!r}")
             seen.add(job.job_id)
+            if jobs is not None and job.job_id in known_specs:
+                self._check_spec_drift(job, known_specs[job.job_id])
 
         finished = replay.finished()
         failed_attempts = replay.failed_attempts()
         results: Dict[str, JobResult] = {}
         replayed = 0
+        self._registry = MetricsRegistry()
+        self._callback_errors = 0
 
         with Journal(self.journal_path) as journal:
             for job in job_list:
                 if job.job_id not in known_specs:
                     journal.append({"event": "enqueue", "job": job.to_dict()})
+            to_run: List[Job] = []
             for job in job_list:
                 if job.job_id in finished:
                     result = JobResult.from_dict(finished[job.job_id])
@@ -231,137 +282,152 @@ class CampaignRunner:
                     results[job.job_id] = result
                     replayed += 1
                     self._log(f"{job.job_id}: {result.status} (from journal)")
+                    self._invoke_callback(job, result, journal)
                 else:
-                    result = self._run_job(job, journal, failed_attempts)
-                    journal.append({"event": "finish", **result.to_dict()})
-                    results[job.job_id] = result
-                    self._log(
-                        f"{job.job_id}: {result.status} after "
-                        f"{result.attempts} attempt(s) via {result.method}"
+                    to_run.append(job)
+            if to_run:
+                if self.workers > 1 and len(to_run) > 1:
+                    self._run_parallel(
+                        to_run, journal, failed_attempts, results
                     )
-                if self.on_result is not None:
-                    self.on_result(job, result)
+                else:
+                    self._run_sequential(
+                        to_run, journal, failed_attempts, results
+                    )
 
         return CampaignReport(
-            results=results,
+            results={job.job_id: results[job.job_id] for job in job_list},
             replayed=replayed,
             corrupt_lines=replay.corrupt_lines,
             torn_tail=replay.torn_tail,
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - started,
+            callback_errors=self._callback_errors,
+            metrics=self._registry.values(),
         )
 
     # ------------------------------------------------------------------
 
-    def _run_job(
-        self,
-        job: Job,
-        journal: Journal,
-        failed_attempts: Dict[Tuple[str, str], int],
-    ) -> JobResult:
-        """Drive one job to a terminal state (never raises ReproError)."""
-        method = job.method
-        tried: List[str] = []
-        total_attempts = 0
-        last_detail = ""
-        while True:
-            result, used, detail = self._try_method(
-                job, method, journal, failed_attempts
+    def _check_spec_drift(self, job: Job, journaled: Dict[str, object]) -> None:
+        """Raise when a supplied job disagrees with its journaled spec."""
+        try:
+            recorded = Job.from_dict(journaled).to_dict()
+        except CampaignError:
+            # A spec this build cannot even parse would be replaced
+            # wholesale; the drift check only guards silent divergence.
+            return
+        current = job.to_dict()
+        drifted = sorted(
+            name for name in current if current[name] != recorded.get(name)
+        )
+        if drifted:
+            details = ", ".join(
+                f"{name}: journal={recorded.get(name)!r} "
+                f"supplied={current[name]!r}"
+                for name in drifted
             )
-            total_attempts += used
-            if result is not None:
-                result.attempts = total_attempts
-                return result
-            last_detail = detail or last_detail
-            tried.append(method)
-            fallback = self.degrade.fallback_method
-            if (
-                method == "rewriting"
-                and fallback is not None
-                and fallback not in tried
-            ):
-                self._log(
-                    f"{job.job_id}: rewriting exhausted "
-                    f"({last_detail or 'no attempts left'}); "
-                    f"degrading to {fallback}"
-                )
-                method = fallback
-                continue
-            return JobResult(
-                job_id=job.job_id,
-                status="INCONCLUSIVE",
-                method=method,
-                attempts=total_attempts,
-                detail=last_detail or "all budgets and fallbacks exhausted",
+            raise CampaignError(
+                f"job {job.job_id!r} spec drifted from the journal "
+                f"({details}); use a fresh journal or re-supply the "
+                "journaled spec"
             )
 
-    def _try_method(
+    def _invoke_callback(
+        self, job: Job, result: JobResult, journal: Journal
+    ) -> None:
+        """Run ``on_result``, containing (and journaling) its exceptions."""
+        if self.on_result is None:
+            return
+        try:
+            self.on_result(job, result)
+        except Exception as exc:
+            self._callback_errors += 1
+            journal.append({
+                "event": "callback_error",
+                "job_id": job.job_id,
+                "error": type(exc).__name__,
+                "detail": str(exc),
+            })
+            self._log(
+                f"{job.job_id}: on_result callback raised "
+                f"{type(exc).__name__}: {exc} (journaled; campaign continues)"
+            )
+
+    def _finish_job(
+        self, job: Job, result: JobResult, journal: Journal,
+        results: Dict[str, JobResult],
+    ) -> None:
+        """Journal one terminal result (the single-writer append path)."""
+        journal.append({"event": "finish", **result.to_dict()})
+        results[job.job_id] = result
+        self._registry.merge(result.metrics)
+        self._log(
+            f"{job.job_id}: {result.status} after "
+            f"{result.attempts} attempt(s) via {result.method}"
+        )
+        self._invoke_callback(job, result, journal)
+
+    def _run_sequential(
         self,
-        job: Job,
-        method: str,
+        to_run: List[Job],
         journal: Journal,
         failed_attempts: Dict[Tuple[str, str], int],
-    ) -> Tuple[Optional[JobResult], int, str]:
-        """All attempts of one method; ``(None, n, why)`` when exhausted."""
-        start_attempt = failed_attempts.get((job.job_id, method), 0) + 1
-        used = 0
-        last_detail = ""
-        for attempt in range(start_attempt, self.retry.max_attempts + 1):
-            max_conflicts, max_seconds = self.retry.budget_for(job, attempt)
-            journal.append({
-                "event": "start",
-                "job_id": job.job_id,
-                "attempt": attempt,
-                "method": method,
-                "max_conflicts": max_conflicts,
-                "max_seconds": max_seconds,
+        results: Dict[str, JobResult],
+    ) -> None:
+        executor = JobExecutor(
+            self.verify_fn,
+            self.retry,
+            self.degrade,
+            fault_plan=self.fault_plan,
+            analyze=self.analyze,
+            log=self._log,
+            fault_journal=journal,
+        )
+        for job in to_run:
+            tracer = Tracer()
+            with use_tracer(tracer):
+                with tracer.span("campaign.job"):
+                    result = executor.run_job(
+                        job, journal.append, failed_attempts
+                    )
+            span = tracer.root
+            self._registry.merge({
+                "campaign.jobs_run": 1.0,
+                "campaign.job_seconds": span.wall_seconds,
+                "campaign.job_cpu_seconds": span.cpu_seconds,
             })
-            used += 1
-            try:
-                if self.fault_plan is not None:
-                    self.fault_plan.fire(job.job_id, attempt, method, journal)
-                # Only forward the analyze kwarg when it is on, so custom
-                # verify_fn overrides keep their narrower signature.
-                extra = {"analyze": True} if self.analyze else {}
-                result = self.verify_fn(
-                    job.config(),
-                    method=method,
-                    bug=job.bug(),
-                    criterion=job.criterion,
-                    max_conflicts=max_conflicts,
-                    max_seconds=max_seconds,
-                    **extra,
-                )
-            except (BudgetExhausted, MemoryError) as exc:
-                # Recoverable: the next attempt gets an escalated budget
-                # (the paper's protocol: rerun the 4 GB kills bigger).
-                last_detail = f"{type(exc).__name__}: {exc}"
-                journal.append({
-                    "event": "attempt_failed",
-                    "job_id": job.job_id,
-                    "attempt": attempt,
-                    "method": method,
-                    "error": type(exc).__name__,
-                    "detail": str(exc),
-                })
-                self._log(
-                    f"{job.job_id}: attempt {attempt}/{self.retry.max_attempts}"
-                    f" ({method}) failed — {last_detail}"
-                )
-                continue
-            except (ReproError, ValueError) as exc:
-                # Structural: a bigger budget cannot help this method.
-                last_detail = f"{type(exc).__name__}: {exc}"
-                journal.append({
-                    "event": "attempt_failed",
-                    "job_id": job.job_id,
-                    "attempt": attempt,
-                    "method": method,
-                    "error": type(exc).__name__,
-                    "detail": str(exc),
-                })
-                return None, used, last_detail
-            return (
-                JobResult.from_verification(job, method, used, result),
-                used,
-                "",
-            )
-        return None, used, last_detail
+            self._finish_job(job, result, journal, results)
+
+    def _run_parallel(
+        self,
+        to_run: List[Job],
+        journal: Journal,
+        failed_attempts: Dict[Tuple[str, str], int],
+        results: Dict[str, JobResult],
+    ) -> None:
+        from .parallel import ParallelCampaignExecutor
+
+        def merge(metrics: Dict[str, float]) -> None:
+            self._registry.merge(metrics)
+
+        executor = ParallelCampaignExecutor(
+            workers=min(self.workers, len(to_run)),
+            retry=self.retry,
+            degrade=self.degrade,
+            analyze=self.analyze,
+            # The default verify is importable in every worker; only a
+            # custom verify_fn needs to cross the process boundary.
+            verify_fn=None if self._verify_is_default else self.verify_fn,
+            fault_plan=self.fault_plan,
+            journal=journal,
+            log=self._log,
+            failed_attempts=failed_attempts,
+            on_finish=lambda job, result: self._finish_job(
+                job, result, journal, results
+            ),
+            merge_metrics=merge,
+        )
+        executor.run(to_run)
+        crashes = executor.worker_crashes
+        if crashes:
+            self._registry.merge({"campaign.worker_crashes": float(crashes)})

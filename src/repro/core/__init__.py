@@ -1,11 +1,12 @@
 """Top-level verification API: :func:`verify` and result/report types."""
 
-from .reporting import render_matrix, render_rows
+from .reporting import render_matrix, render_metrics, render_rows
 from .results import VerificationResult
 from .verifier import METHODS, verify
 
 __all__ = [
     "render_matrix",
+    "render_metrics",
     "render_rows",
     "VerificationResult",
     "METHODS",

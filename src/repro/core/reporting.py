@@ -17,6 +17,7 @@ __all__ = [
     "render_matrix",
     "render_rows",
     "render_diagnostics",
+    "render_metrics",
     "render_span_tree",
 ]
 
@@ -76,6 +77,24 @@ def render_diagnostics(diagnostics: Sequence, title: str = "Findings") -> str:
         rows,
     )
     return table
+
+
+def render_metrics(
+    metrics: Dict[str, float], title: str = "Metrics"
+) -> str:
+    """Render a flat metric dict (``name -> value``) as a sorted table.
+
+    The human-readable sink for campaign-level aggregates
+    (:attr:`~repro.campaign.runner.CampaignReport.metrics`) and benchmark
+    snapshots; values print as integers when they are whole.
+    """
+    def fmt(value: float) -> str:
+        return f"{int(value)}" if float(value).is_integer() else f"{value:.4f}"
+
+    rows = [(name, fmt(value)) for name, value in sorted(metrics.items())]
+    if not rows:
+        return f"{title}: none recorded"
+    return render_rows(title, ("metric", "value"), rows)
 
 
 def render_span_tree(root, title: Optional[str] = None) -> str:

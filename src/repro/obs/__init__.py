@@ -37,6 +37,7 @@ from .metrics import (
     MetricsSnapshot,
     Tolerance,
     compare_snapshots,
+    merge_snapshots,
     snapshot_from_result,
 )
 from .tracer import (
@@ -62,6 +63,7 @@ __all__ = [
     "ComparisonReport",
     "DEFAULT_TOLERANCES",
     "snapshot_from_result",
+    "merge_snapshots",
     "compare_snapshots",
     "render_span_tree",
     "trace_to_json",

@@ -75,13 +75,21 @@ def _run_traced(args: argparse.Namespace):
 
 
 def _parse_tolerance(text: str) -> Tuple[str, Tolerance]:
-    """Parse ``PATTERN=rel:R[:abs:A]`` / ``PATTERN=rel:R+abs:A`` specs."""
+    """Parse ``PATTERN=rel:R[+abs:A][+advisory]`` specs.
+
+    ``advisory`` marks the pattern's metrics as report-only: exceedances
+    are listed but never fail the gate (the wall-clock treatment).
+    """
     if "=" not in text:
         raise ValueError(
-            f"bad --tol {text!r}; expected PATTERN=rel:R[+abs:A]"
+            f"bad --tol {text!r}; expected PATTERN=rel:R[+abs:A][+advisory]"
         )
     pattern, spec = text.split("=", 1)
     tokens = [t for t in spec.replace("+", ":").split(":") if t.strip()]
+    advisory = False
+    while "advisory" in tokens:
+        tokens.remove("advisory")
+        advisory = True
     if len(tokens) % 2 != 0:
         raise ValueError(f"bad --tol {text!r}; expected rel:R and/or abs:A")
     rel, absolute = 0.0, 0.0
@@ -91,8 +99,8 @@ def _parse_tolerance(text: str) -> Tuple[str, Tolerance]:
         elif key == "abs":
             absolute = float(value)
         else:
-            raise ValueError(f"bad --tol key {key!r}; use rel/abs")
-    return pattern, Tolerance(rel=rel, abs=absolute)
+            raise ValueError(f"bad --tol key {key!r}; use rel/abs/advisory")
+    return pattern, Tolerance(rel=rel, abs=absolute, advisory=advisory)
 
 
 def build_perf_parser() -> argparse.ArgumentParser:

@@ -59,6 +59,53 @@ class TestSpecCampaigns:
         assert code == 2
 
 
+class TestParallelAndInjection:
+    def test_workers_flag_runs_the_grid(self, tmp_path, capsys):
+        journal = str(tmp_path / "c.jsonl")
+        code = campaign_main([
+            "--journal", journal, "--grid", "2x1,2x2,3x1", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 PROVED" in out
+        assert "2 workers" in out
+
+    def test_injected_worker_crash_recovers(self, tmp_path, capsys):
+        journal = str(tmp_path / "c.jsonl")
+        code = campaign_main([
+            "--journal", journal, "--grid", "2x1,2x2,3x1",
+            "--workers", "2", "--inject", "crash@rw-N2-k2:1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 PROVED" in out
+        assert "worker" in out and "crashed" in out
+
+    def test_injected_timeout_is_retried_sequentially(self, tmp_path, capsys):
+        journal = str(tmp_path / "c.jsonl")
+        code = campaign_main([
+            "--journal", journal, "--grid", "2x1",
+            "--inject", "solver-timeout@rw-N2-k1:1",
+        ])
+        assert code == 0
+        assert "1 PROVED" in capsys.readouterr().out
+
+    def test_bad_inject_spec_is_a_setup_error(self, tmp_path, capsys):
+        code = campaign_main([
+            "--journal", str(tmp_path / "c.jsonl"), "--grid", "2x1",
+            "--inject", "not-a-kind@rw-N2-k1",
+        ])
+        assert code == 2
+        assert "campaign error" in capsys.readouterr().err
+
+    def test_bad_worker_count_is_a_setup_error(self, tmp_path, capsys):
+        code = campaign_main([
+            "--journal", str(tmp_path / "c.jsonl"), "--grid", "2x1",
+            "--workers", "0",
+        ])
+        assert code == 2
+
+
 class TestResumeFlow:
     def test_second_run_replays_journal(self, tmp_path, capsys):
         journal = str(tmp_path / "c.jsonl")

@@ -257,6 +257,98 @@ class TestResume:
             )
 
 
+class TestSpecDrift:
+    def test_resupplying_identical_spec_is_fine(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        jobs = [Job.build(2, 1), Job.build(2, 2)]
+        CampaignRunner(path, verify_fn=SpyVerify()).run(jobs)
+        report = CampaignRunner(path, verify_fn=SpyVerify()).run(
+            [Job.build(2, 1), Job.build(2, 2)]
+        )
+        assert report.replayed == 2
+
+    def test_drifted_spec_raises_naming_the_fields(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        CampaignRunner(path, verify_fn=SpyVerify()).run([Job.build(2, 1)])
+        drifted = Job.build(2, 1, max_conflicts=99,
+                            criterion="case_split")
+        assert drifted.job_id == Job.build(2, 1).job_id  # same id, new spec
+        with pytest.raises(CampaignError) as excinfo:
+            CampaignRunner(path, verify_fn=SpyVerify()).run([drifted])
+        message = str(excinfo.value)
+        assert "spec drifted" in message
+        assert "criterion" in message and "max_conflicts" in message
+        assert "case_split" in message
+
+    def test_drift_check_fires_before_any_job_runs(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        CampaignRunner(path, verify_fn=SpyVerify()).run([Job.build(2, 1)])
+        spy = SpyVerify()
+        new_job = Job.build(3, 1)
+        drifted = Job.build(2, 1, max_conflicts=7)
+        with pytest.raises(CampaignError):
+            CampaignRunner(path, verify_fn=spy).run([new_job, drifted])
+        assert spy.calls == []  # nothing ran against the wrong spec
+
+    def test_new_jobs_may_join_a_resumed_campaign(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        CampaignRunner(path, verify_fn=SpyVerify()).run([Job.build(2, 1)])
+        report = CampaignRunner(path, verify_fn=SpyVerify()).run(
+            [Job.build(2, 1), Job.build(3, 1)]
+        )
+        assert report.replayed == 1
+        assert len(report.results) == 2
+
+
+class TestCallbackErrors:
+    def test_callback_exception_does_not_abort_the_campaign(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        jobs = [Job.build(2, 1), Job.build(2, 2), Job.build(3, 1)]
+        seen = []
+
+        def flaky(job, result):
+            seen.append(job.job_id)
+            if job.job_id == jobs[1].job_id:
+                raise RuntimeError("observer fell over")
+
+        report = CampaignRunner(
+            path, verify_fn=SpyVerify(), on_result=flaky
+        ).run(jobs)
+        # Every job still ran and the callback kept being invoked.
+        assert report.counts() == {"PROVED": 3}
+        assert seen == [job.job_id for job in jobs]
+        assert report.callback_errors == 1
+        assert "1 on_result callback error" in report.summary()
+
+    def test_callback_error_is_journaled(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        job = Job.build(2, 1)
+
+        def bad(j, r):
+            raise ValueError("bad observer")
+
+        CampaignRunner(path, verify_fn=SpyVerify(), on_result=bad).run([job])
+        errors = Journal.load(path).callback_errors()
+        assert len(errors) == 1
+        assert errors[0]["job_id"] == job.job_id
+        assert errors[0]["error"] == "ValueError"
+        assert "bad observer" in errors[0]["detail"]
+
+    def test_replayed_results_also_contain_callback_errors(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        job = Job.build(2, 1)
+        CampaignRunner(path, verify_fn=SpyVerify()).run([job])
+
+        def bad(j, r):
+            raise RuntimeError("boom on replay")
+
+        report = CampaignRunner(
+            path, verify_fn=SpyVerify(), on_result=bad
+        ).run([job])
+        assert report.replayed == 1
+        assert report.callback_errors == 1
+
+
 class TestJobSerialization:
     def test_roundtrip(self):
         job = Job.build(8, 2, bug_kind="forward-stale-result", bug_entry=5,

@@ -10,6 +10,7 @@ from repro.obs import (
     MetricsSnapshot,
     Tolerance,
     compare_snapshots,
+    merge_snapshots,
 )
 
 
@@ -69,6 +70,20 @@ class TestTolerances:
         catch_all = [t for p, t in DEFAULT_TOLERANCES if p == "*"][0]
         assert timing.rel > 0 and timing.abs > 0
         assert catch_all.rel == 0 and catch_all.abs == 0
+
+    def test_default_rules_gate_cpu_but_only_advise_on_wall(self):
+        by_pattern = dict(DEFAULT_TOLERANCES)
+        assert not by_pattern["cpu.*"].advisory
+        assert not by_pattern["*cpu_seconds*"].advisory
+        assert by_pattern["timings.*"].advisory
+        assert by_pattern["*seconds*"].advisory
+        # cpu.* must match before the advisory wall-clock catch-alls.
+        patterns = [p for p, _ in DEFAULT_TOLERANCES]
+        assert patterns.index("cpu.*") < patterns.index("*seconds*")
+
+    def test_describe_mentions_advisory(self):
+        assert "advisory" in Tolerance(rel=1.0, advisory=True).describe()
+        assert "advisory" not in Tolerance(rel=1.0).describe()
 
 
 class TestCompare:
@@ -138,3 +153,51 @@ class TestCompare:
         data = report.to_dict()
         assert data["ok"] is False
         assert data["regressions"] == ["sat.conflicts"]
+
+    def test_advisory_exceedance_is_reported_but_never_fails(self):
+        rules = [("timings.*", Tolerance(advisory=True)), ("*", Tolerance())]
+        report = compare_snapshots(
+            self.snap(**{"timings.total": 0.1}),
+            self.snap(**{"timings.total": 100.0}),
+            rules=rules,
+        )
+        assert report.ok
+        assert report.regressions == []
+        delta = [d for d in report.deltas if d.name == "timings.total"][0]
+        assert "advisory" in delta.note
+
+    def test_wall_clock_spike_passes_but_cpu_spike_fails_by_default(self):
+        # The flaky-gate fix: a 100x wall-clock spike (scheduler noise on a
+        # loaded runner) passes, while the same spike in CPU time fails.
+        wall = compare_snapshots(
+            self.snap(**{"timings.sat": 0.05}),
+            self.snap(**{"timings.sat": 5.0}),
+        )
+        assert wall.ok
+        cpu = compare_snapshots(
+            self.snap(**{"cpu.sat": 0.05}),
+            self.snap(**{"cpu.sat": 5.0}),
+        )
+        assert not cpu.ok
+        assert [d.name for d in cpu.regressions] == ["cpu.sat"]
+
+
+class TestMergeSnapshots:
+    def test_merge_sums_metrics(self):
+        merged = merge_snapshots([
+            MetricsSnapshot(metrics={"a": 1.0, "b": 2.0}),
+            MetricsSnapshot(metrics={"a": 3.0, "c": 0.5}),
+        ])
+        assert merged.metrics == {"a": 4.0, "b": 2.0, "c": 0.5}
+        assert merged.meta["merged_from"] == 2
+
+    def test_merge_carries_supplied_meta(self):
+        merged = merge_snapshots(
+            [MetricsSnapshot(metrics={"a": 1.0})], meta={"run": "x"}
+        )
+        assert merged.meta["run"] == "x"
+        assert merged.meta["merged_from"] == 1
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_snapshots([])
+        assert merged.metrics == {}

@@ -22,6 +22,14 @@ class TestParseTolerance:
         _, tol = _parse_tolerance("sat.*=rel:1+abs:10")
         assert tol == Tolerance(rel=1.0, abs=10.0)
 
+    def test_advisory_flag(self):
+        _, tol = _parse_tolerance("timings.*=rel:2+abs:1+advisory")
+        assert tol == Tolerance(rel=2.0, abs=1.0, advisory=True)
+
+    def test_advisory_alone(self):
+        _, tol = _parse_tolerance("*seconds*=advisory")
+        assert tol == Tolerance(advisory=True)
+
     @pytest.mark.parametrize(
         "bad", ["no-equals", "x=rel", "x=nope:1", "x=rel:1:abs"]
     )
