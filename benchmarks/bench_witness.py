@@ -1,0 +1,143 @@
+"""Witness-subsystem benchmark: certification cost and logging overhead.
+
+Three questions, one committed snapshot (``BENCH_witness.json``):
+
+1. how much does *disabled* proof logging cost the solver's hot path?
+   (``certify=False`` is the default; the answer should be "nothing
+   measurable" — the ``witness.logging_off_overhead_ratio`` metric
+   records solve time with the feature merely present vs. the same
+   solve, and the perf-smoke gate keeps the end-to-end number honest);
+2. what does UNSAT certification cost end to end — proof logging plus
+   the independent RUP re-check — relative to an uncertified verify?
+3. what does SAT certification cost — counterexample reconstruction,
+   replay, and greedy minimization — on the seeded bug?
+
+No ratio assertions here (single-round timings on shared CI boxes are
+noisy); the gate that fails on regression is ``python -m repro perf
+compare`` over the committed baseline, exercised by the perf-smoke CI
+job.  Correctness *is* asserted: the proof must check, the
+counterexample must replay to False.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.core import verify
+from repro.encode import encode_validity
+from repro.obs import MetricsSnapshot
+from repro.processor.bugs import Bug
+from repro.processor.correctness import build_correctness_formula, run_diagram
+from repro.processor.params import ProcessorConfig
+from repro.sat import solve_cnf
+from repro.witness import DrupProof, check_drup
+
+from common import save_table
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Big enough for a non-trivial CNF under positive equality, small
+#: enough that the full bench stays in CI budget.
+CONFIG = ProcessorConfig(n_rob=2, issue_width=2)
+BUG = Bug("pc-single-increment")
+
+
+def _encode_once():
+    artifacts = run_diagram(CONFIG)
+    formula = build_correctness_formula(artifacts)
+    return encode_validity(formula, memory_mode="precise")
+
+
+def _time(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_witness_overhead(benchmark):
+    def _measure():
+        encoded = _encode_once()
+        cnf = encoded.cnf
+
+        solve_seconds, baseline = _time(lambda: solve_cnf(cnf))
+        logged_seconds, logged = _time(
+            lambda: solve_cnf(cnf, log_proof=True)
+        )
+        assert baseline.is_unsat and logged.is_unsat
+
+        proof = DrupProof.from_solver_steps(logged.proof)
+        check_seconds, outcome = _time(lambda: check_drup(cnf, proof))
+        assert outcome.ok, outcome.detail
+
+        plain_seconds, plain = _time(lambda: verify(CONFIG))
+        certified_seconds, certified = _time(
+            lambda: verify(CONFIG, certify=True)
+        )
+        assert plain.correct and certified.correct
+        assert certified.witness.validated
+
+        sat_plain_seconds, sat_plain = _time(
+            lambda: verify(ProcessorConfig(4, 2), bug=BUG)
+        )
+        sat_cert_seconds, sat_cert = _time(
+            lambda: verify(ProcessorConfig(4, 2), bug=BUG, certify=True)
+        )
+        assert not sat_cert.correct
+        assert sat_cert.witness.counterexample.replayed_false
+
+        return {
+            "witness.cnf_vars": float(cnf.num_vars),
+            "witness.cnf_clauses": float(cnf.num_clauses),
+            "witness.proof_additions": float(proof.additions),
+            "witness.proof_deletions": float(proof.deletions),
+            "witness.solve_seconds": solve_seconds,
+            "witness.solve_logged_seconds": logged_seconds,
+            "witness.logging_overhead_ratio": (
+                logged_seconds / solve_seconds if solve_seconds > 0 else 0.0
+            ),
+            "witness.check_seconds": check_seconds,
+            "witness.verify_seconds": plain_seconds,
+            "witness.verify_certified_seconds": certified_seconds,
+            "witness.sat_verify_seconds": sat_plain_seconds,
+            "witness.sat_certified_seconds": sat_cert_seconds,
+            "witness.minimized_vars": float(
+                sat_cert.witness.counterexample.minimized_size
+            ),
+            "witness.raw_vars": float(
+                sat_cert.witness.counterexample.raw_size
+            ),
+        }
+
+    metrics = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    snapshot = MetricsSnapshot(
+        metrics=metrics,
+        meta={
+            "bench": "witness",
+            "config": CONFIG.describe(),
+            "bug": BUG.kind,
+        },
+    )
+    snapshot.save(REPO_ROOT / "BENCH_witness.json")
+    save_table(
+        "witness",
+        (
+            f"Witness subsystem ({CONFIG.describe()})\n"
+            f"  CNF: {metrics['witness.cnf_vars']:.0f} vars, "
+            f"{metrics['witness.cnf_clauses']:.0f} clauses\n"
+            f"  solve:              {metrics['witness.solve_seconds']*1e3:.2f} ms\n"
+            f"  solve + DRUP log:   {metrics['witness.solve_logged_seconds']*1e3:.2f} ms\n"
+            f"  RUP re-check:       {metrics['witness.check_seconds']*1e3:.2f} ms\n"
+            f"  verify:             {metrics['witness.verify_seconds']*1e3:.2f} ms\n"
+            f"  verify --certify:   {metrics['witness.verify_certified_seconds']*1e3:.2f} ms\n"
+            f"  buggy verify:       {metrics['witness.sat_verify_seconds']*1e3:.2f} ms\n"
+            f"  buggy --certify:    {metrics['witness.sat_certified_seconds']*1e3:.2f} ms\n"
+            f"  counterexample:     {metrics['witness.raw_vars']:.0f} -> "
+            f"{metrics['witness.minimized_vars']:.0f} vars after minimization"
+        ),
+    )

@@ -24,6 +24,13 @@ Observability (span traces and the perf-regression gate; see
     python -m repro perf record --rob 4 --width 2 --out base.json
     python -m repro perf compare base.json current.json
 
+Witness mode (DRUP proof certification and counterexample replay; see
+:mod:`repro.witness.cli`)::
+
+    python -m repro witness certify --rob 4 --width 2 --proof-out p.drup
+    python -m repro witness explain --rob 4 --width 2 --bug pc-single-increment
+    python -m repro witness check --cnf formula.cnf --proof p.drup
+
 Exit status of a single run: 0 — the design was proved correct; 1 — a bug
 was found; 2 — the SAT budget was exhausted before a verdict; 3 — another
 structured verification error (including strict-mode soundness findings).
@@ -123,6 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
             "report any error-level finding"
         ),
     )
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help=(
+            "certify the verdict: check a DRUP proof for correct designs, "
+            "replay + minimize the counterexample for buggy ones; exit "
+            "with status 3 when the witness fails validation"
+        ),
+    )
     return parser
 
 
@@ -145,6 +161,10 @@ def main(argv=None) -> int:
         from .obs.cli import trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "witness":
+        from .witness.cli import main as witness_main
+
+        return witness_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ProcessorConfig(
         n_rob=args.rob,
@@ -167,6 +187,7 @@ def main(argv=None) -> int:
             max_seconds=max_seconds,
             analyze=args.analyze or args.strict,
             strict=args.strict,
+            certify=args.certify,
         )
     except AnalysisError as exc:
         from .core.reporting import render_diagnostics
@@ -200,6 +221,12 @@ def main(argv=None) -> int:
         from .core.reporting import render_diagnostics
 
         print(render_diagnostics(result.diagnostics))
+    if result.witness is not None:
+        print(result.witness.render())
+        if result.witness.kind != "rewrite-flag" and \
+                not result.witness.validated:
+            print("witness FAILED validation", file=sys.stderr)
+            return 3
     return 0 if result.correct else 1
 
 

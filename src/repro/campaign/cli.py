@@ -140,6 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
         "findings in the journal",
     )
     parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="certify every verdict (DRUP proof check / counterexample "
+        "replay) and record the witness digest in the journal",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -233,6 +239,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             log=log,
             strict_journal=args.strict_journal,
             analyze=args.analyze,
+            certify=args.certify,
             workers=args.workers,
         )
         report = runner.run(jobs)

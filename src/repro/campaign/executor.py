@@ -43,6 +43,7 @@ class JobExecutor:
         degrade,
         fault_plan: Optional[FaultPlan] = None,
         analyze: bool = False,
+        certify: bool = False,
         log: Optional[Callable[[str], None]] = None,
         fault_journal: Optional[Journal] = None,
     ) -> None:
@@ -51,6 +52,7 @@ class JobExecutor:
         self.degrade = degrade
         self.fault_plan = fault_plan
         self.analyze = analyze
+        self.certify = certify
         self._log = log or (lambda message: None)
         self.fault_journal = fault_journal
 
@@ -125,9 +127,13 @@ class JobExecutor:
                     self.fault_plan.fire(
                         job.job_id, attempt, method, self.fault_journal
                     )
-                # Only forward the analyze kwarg when it is on, so custom
+                # Only forward opt-in kwargs when they are on, so custom
                 # verify_fn overrides keep their narrower signature.
-                extra = {"analyze": True} if self.analyze else {}
+                extra: Dict[str, object] = {}
+                if self.analyze:
+                    extra["analyze"] = True
+                if self.certify:
+                    extra["certify"] = True
                 result = self.verify_fn(
                     job.config(),
                     method=method,

@@ -132,6 +132,13 @@ class JobResult:
     #: (``timings.*``, ``sat.*``, ``rewrite.*``, ``trace.*``, ...);
     #: journaled with the finish record so they survive crash-and-resume.
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: witness digest summary of the deciding run, in the
+    #: :meth:`repro.witness.types.Witness.summary_dict` layout; populated
+    #: when the campaign runs with ``certify=True`` and journaled with
+    #: the finish record so the certification verdict (proof digest,
+    #: minimized-counterexample size, validation status) survives
+    #: crash-and-resume without re-running the checker.
+    witness: Optional[Dict[str, Any]] = None
     #: id of the worker process that produced this result under
     #: ``CampaignRunner(..., workers=N)``; ``None`` for in-process runs.
     worker: Optional[int] = None
@@ -161,6 +168,11 @@ class JobResult:
         from ..obs.metrics import snapshot_from_result
 
         metrics = snapshot_from_result(result).metrics
+        witness = (
+            result.witness.summary_dict()
+            if getattr(result, "witness", None) is not None
+            else None
+        )
         return cls(
             job_id=job.job_id,
             status=status,
@@ -172,6 +184,7 @@ class JobResult:
             stats=dict(stats.as_row()) if stats is not None else {},
             diagnostics=diagnostics,
             metrics=metrics,
+            witness=witness,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -186,6 +199,7 @@ class JobResult:
             "stats": self.stats,
             "diagnostics": self.diagnostics,
             "metrics": self.metrics,
+            "witness": self.witness,
             "worker": self.worker,
         }
 
@@ -202,5 +216,6 @@ class JobResult:
             stats=dict(data.get("stats", {})),
             diagnostics=list(data.get("diagnostics", [])),
             metrics=dict(data.get("metrics", {})),
+            witness=data.get("witness"),
             worker=data.get("worker"),
         )

@@ -90,6 +90,7 @@ def _worker_main(
             options["degrade"],
             fault_plan=FaultPlan(faults) if faults else None,
             analyze=options["analyze"],
+            certify=options.get("certify", False),
             log=lambda text: outbox.put({"event": "log", "text": text}),
             # Workers never hold the journal: the single-writer invariant.
             fault_journal=None,
@@ -141,6 +142,7 @@ class ParallelCampaignExecutor:
         degrade,
         analyze: bool,
         verify_fn: Optional[Callable],
+        certify: bool = False,
         fault_plan: Optional[FaultPlan],
         journal: Journal,
         log: Callable[[str], None],
@@ -155,6 +157,7 @@ class ParallelCampaignExecutor:
             "retry": retry,
             "degrade": degrade,
             "analyze": analyze,
+            "certify": certify,
             "verify_fn": verify_fn,
         }
         self._fault_plan = fault_plan

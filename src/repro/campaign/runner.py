@@ -194,6 +194,11 @@ class CampaignRunner:
             every verification; their findings ride in
             :attr:`JobResult.diagnostics` and the journal's finish
             records, so they survive crash-and-resume.
+        certify: certify every verdict (``verify(certify=True)``): DRUP
+            proofs are checked for PROVED jobs, counterexamples replayed
+            and minimized for BUG_FOUND ones.  The witness digest summary
+            rides in :attr:`JobResult.witness` and the journal's finish
+            records, so it survives crash-and-resume.
         workers: worker processes to fan jobs out to; ``1`` (the default)
             runs everything in this process.  The parent stays the single
             journal writer either way (see :mod:`repro.campaign.parallel`).
@@ -210,6 +215,7 @@ class CampaignRunner:
         log: Optional[Callable[[str], None]] = None,
         strict_journal: bool = False,
         analyze: bool = False,
+        certify: bool = False,
         workers: int = 1,
     ) -> None:
         self._verify_is_default = verify_fn is None
@@ -226,6 +232,7 @@ class CampaignRunner:
         self._log = log or (lambda message: None)
         self.strict_journal = strict_journal
         self.analyze = analyze
+        self.certify = certify
         self.workers = workers
 
     # ------------------------------------------------------------------
@@ -380,6 +387,7 @@ class CampaignRunner:
             self.degrade,
             fault_plan=self.fault_plan,
             analyze=self.analyze,
+            certify=self.certify,
             log=self._log,
             fault_journal=journal,
         )
@@ -415,6 +423,7 @@ class CampaignRunner:
             retry=self.retry,
             degrade=self.degrade,
             analyze=self.analyze,
+            certify=self.certify,
             # The default verify is importable in every worker; only a
             # custom verify_fn needs to cross the process boundary.
             verify_fn=None if self._verify_is_default else self.verify_fn,

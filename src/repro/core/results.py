@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..encode.evc import EncodingStats, ValidityResult
 from ..obs.tracer import Span
 from ..processor.bugs import Bug
 from ..processor.params import ProcessorConfig
 from ..rewriting.engine import RewriteResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..witness.types import Witness
 
 __all__ = ["VerificationResult"]
 
@@ -31,8 +34,14 @@ class VerificationResult:
     validity: Optional[ValidityResult] = None
     #: phase timings in seconds: simulate, rewrite, translate, sat, total.
     timings: Dict[str, float] = field(default_factory=dict)
-    #: counterexample assignment for incorrect designs (named variables).
-    counterexample: Optional[Dict[str, bool]] = None
+    #: counterexample assignment for incorrect designs (named variables;
+    #: ``None`` values are variables the SAT model never decided).
+    counterexample: Optional[Dict[str, Optional[bool]]] = None
+    #: independently checked verdict evidence from ``verify(certify=True)``
+    #: (a :class:`~repro.witness.types.Witness`): a machine-checked DRUP
+    #: proof for correct designs, a replayed + minimized term-level
+    #: counterexample for buggy ones.
+    witness: Optional["Witness"] = None
     #: soundness findings from ``verify(analyze=True)``
     #: (:class:`~repro.analysis.diagnostics.Diagnostic` records).
     diagnostics: List = field(default_factory=list)

@@ -71,6 +71,7 @@ def _run_traced(
     criterion: str,
     max_conflicts: Optional[int],
     max_seconds: Optional[float],
+    certify: bool = False,
 ) -> VerificationResult:
     """The pipeline proper, run under an open "verify" span."""
     artifacts = run_diagram(config, bug=bug)
@@ -93,6 +94,7 @@ def _run_traced(
             memory_mode="conservative",
             max_conflicts=max_conflicts,
             max_seconds=max_seconds,
+            log_proof=certify,
         )
         return VerificationResult(
             config=config,
@@ -110,6 +112,7 @@ def _run_traced(
         memory_mode="precise",
         max_conflicts=max_conflicts,
         max_seconds=max_seconds,
+        log_proof=certify,
     )
     return VerificationResult(
         config=config,
@@ -131,6 +134,7 @@ def verify(
     analyze: bool = False,
     strict: bool = False,
     trace: bool = False,
+    certify: bool = False,
 ) -> VerificationResult:
     """Formally verify one out-of-order processor configuration.
 
@@ -156,6 +160,14 @@ def verify(
             :class:`~repro.obs.tracer.Span`) with the per-layer work
             counters; render it with
             :func:`repro.core.reporting.render_span_tree`.
+        certify: log a DRUP clause proof in the SAT solver and attach an
+            independently checked :class:`~repro.witness.types.Witness`
+            to ``result.witness``: the proof is re-checked by the
+            reverse-unit-propagation checker of :mod:`repro.witness.drup`
+            for UNSAT verdicts, and SAT models are lifted to concrete
+            EUFM interpretations, replayed through the evaluator and
+            minimized.  Off by default (the solver's hot path then logs
+            nothing).
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; use one of {METHODS}")
@@ -165,13 +177,19 @@ def verify(
         with use_tracer(tracer):
             with tracer.span("verify"):
                 result = _run_traced(
-                    config, method, bug, criterion, max_conflicts, max_seconds
+                    config, method, bug, criterion, max_conflicts,
+                    max_seconds, certify,
                 )
                 if analyze:
                     from ..analysis.pipeline import analyze_verification
 
                     with tracer.span("analyze"):
                         result.diagnostics = analyze_verification(result)
+                if certify:
+                    from ..witness.certify import certify_result
+
+                    with tracer.span("witness"):
+                        result.witness = certify_result(result)
     except BudgetExhausted as exc:
         _enrich_budget_error(exc, tracer.root)
         raise

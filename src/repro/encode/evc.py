@@ -95,7 +95,9 @@ class ValidityResult:
     valid: bool
     encoded: EncodedValidity
     sat_result: Optional[SatResult] = None
-    counterexample: Optional[Dict[str, bool]] = None
+    #: named assignment of an invalid formula; ``None`` values mark
+    #: variables the SAT model left unassigned (don't-cares).
+    counterexample: Optional[Dict[str, Optional[bool]]] = None
 
     @property
     def solve_seconds(self) -> float:
@@ -227,15 +229,25 @@ def check_validity(
     cnf_encoding: str = "polarity",
     max_conflicts: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    log_proof: bool = False,
 ) -> ValidityResult:
-    """Encode ``phi`` and decide its validity with the CDCL solver."""
+    """Encode ``phi`` and decide its validity with the CDCL solver.
+
+    ``log_proof=True`` makes the solver record a DRUP clause proof on
+    ``sat_result.proof`` (certified against ``encoded.cnf`` — the exact
+    post-dedupe, post-Tseitin CNF the solver saw — by
+    :func:`repro.witness.drup.check_drup`).
+    """
     encoded = encode_validity(
         phi, memory_mode=memory_mode, cnf_encoding=cnf_encoding
     )
     if encoded.constant_validity is not None:
         return ValidityResult(valid=encoded.constant_validity, encoded=encoded)
     sat_result = solve_cnf(
-        encoded.cnf, max_conflicts=max_conflicts, max_seconds=max_seconds
+        encoded.cnf,
+        max_conflicts=max_conflicts,
+        max_seconds=max_seconds,
+        log_proof=log_proof,
     )
     if sat_result.status == "unknown":
         budget_kind = (
@@ -269,15 +281,20 @@ def check_validity(
 
 def decode_model(
     encoded: EncodedValidity, model: Dict[int, bool]
-) -> Dict[str, bool]:
-    """Map a SAT model back to named EUFM Boolean/e_ij variables."""
+) -> Dict[str, Optional[bool]]:
+    """Map a SAT model back to named EUFM Boolean/e_ij variables.
+
+    Every variable the Tseitin translation knows appears in the result:
+    variables the SAT model left unassigned map to ``None`` (explicit
+    don't-cares) rather than being silently dropped, so callers can tell
+    "false" apart from "the solver never had to decide this".
+    """
     if encoded.tseitin is None:
         raise EncodingError(
             "cannot decode a model: the formula collapsed to a constant "
             "before CNF translation"
         )
-    assignment: Dict[str, bool] = {}
+    assignment: Dict[str, Optional[bool]] = {}
     for var, index in encoded.tseitin.var_map.items():
-        if index in model:
-            assignment[var.name] = model[index]
+        assignment[var.name] = model.get(index)
     return assignment

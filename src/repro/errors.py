@@ -24,6 +24,7 @@ __all__ = [
     "EncodingError",
     "SolverError",
     "AnalysisError",
+    "WitnessError",
     "CampaignError",
     "JournalError",
 ]
@@ -101,6 +102,18 @@ class AnalysisError(ReproError):
     def __init__(self, message: str, diagnostics=()) -> None:
         super().__init__(message)
         self.diagnostics = list(diagnostics)
+
+
+class WitnessError(ReproError):
+    """A verdict witness could not be produced or failed validation.
+
+    Raised by :mod:`repro.witness` when certification is requested but the
+    run carries no certifiable artifact (e.g. ``verify()`` ran without
+    ``certify=True`` so no DRUP proof was logged), or when a stored proof
+    or counterexample is malformed.  A witness that was produced but does
+    not validate is *returned* (``Witness.validated`` False), not raised —
+    callers decide whether that is fatal.
+    """
 
 
 class CampaignError(ReproError):

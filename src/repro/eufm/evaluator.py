@@ -141,6 +141,36 @@ class Interpretation:
     def set_bool(self, name: str, value: bool) -> None:
         self._bools[name] = bool(value)
 
+    def set_uf(self, symbol: str, args: Tuple[Value, ...], value: int) -> None:
+        """Pin one entry of ``symbol``'s function table.
+
+        Argument tuples not pinned explicitly keep their deterministic
+        seed-drawn defaults, so the result is still a *total* function —
+        exactly what counterexample reconstruction needs: the entries the
+        SAT model determined are fixed, the rest are don't-cares.
+        """
+        self._uf_tables[(symbol, tuple(args))] = value % self.domain_size
+
+    def set_up(self, symbol: str, args: Tuple[Value, ...], value: bool) -> None:
+        """Pin one entry of ``symbol``'s predicate table (see set_uf)."""
+        self._up_tables[(symbol, tuple(args))] = bool(value)
+
+    def uf_table(self, symbol: str) -> Dict[Tuple[Value, ...], int]:
+        """The explicitly pinned entries of ``symbol``'s function table."""
+        return {
+            args: value
+            for (sym, args), value in self._uf_tables.items()
+            if sym == symbol
+        }
+
+    def up_table(self, symbol: str) -> Dict[Tuple[Value, ...], bool]:
+        """The explicitly pinned entries of ``symbol``'s predicate table."""
+        return {
+            args: value
+            for (sym, args), value in self._up_tables.items()
+            if sym == symbol
+        }
+
 
 def infer_memory_sorts(*roots: Expr) -> Set[Expr]:
     """The set of term nodes that denote memory states.

@@ -11,6 +11,16 @@ Implementation notes: assignments are stored as small integers
 (0 unassigned, +1 true, -1 false) indexed by variable, so the value of a
 literal ``lit`` is ``assigns[|lit|] * sign(lit)``; the propagation loop
 inlines these tests — they account for the bulk of the runtime.
+
+Proof logging (``log_proof=True``): the solver records a DRUP clause
+proof — every learned clause (post-minimization, including learned
+units), every learned-clause deletion of :meth:`Solver._reduce_learned`,
+and the final empty clause on UNSAT — as ``("a"|"d", literals)`` steps on
+:attr:`SatResult.proof`.  Logging is **off by default** and the hot
+propagation loop is untouched either way; only the (comparatively rare)
+conflict-analysis and clause-deletion paths test the flag.  The proof is
+validated by the *independent* reverse-unit-propagation checker in
+:mod:`repro.witness.drup`, which shares no code with this module.
 """
 
 from __future__ import annotations
@@ -41,6 +51,10 @@ class SatResult:
     #: deepest decision level reached (0 when the instance propagates out).
     max_decision_level: int = 0
     cpu_seconds: float = 0.0
+    #: DRUP proof steps ``("a"|"d", literals)`` when the solver ran with
+    #: ``log_proof=True``; ``None`` otherwise.  Only meaningful for
+    #: ``"unsat"`` outcomes (the final step is then the empty clause).
+    proof: Optional[List[Tuple[str, Tuple[int, ...]]]] = None
 
     @property
     def is_sat(self) -> bool:
@@ -65,8 +79,12 @@ class _Clause:
 class Solver:
     """CDCL solver over a :class:`repro.sat.cnf.Cnf` instance."""
 
-    def __init__(self, cnf: Cnf) -> None:
+    def __init__(self, cnf: Cnf, log_proof: bool = False) -> None:
         self.num_vars = cnf.num_vars
+        #: DRUP step log, or None when proof logging is off (the default).
+        self._proof: Optional[List[Tuple[str, Tuple[int, ...]]]] = (
+            [] if log_proof else None
+        )
         # 1-indexed variable state; assigns holds 0 / +1 / -1.
         self.assigns: List[int] = [0] * (self.num_vars + 1)
         self.level: List[int] = [0] * (self.num_vars + 1)
@@ -369,6 +387,8 @@ class Solver:
                 survivors.append(clause)
             else:
                 removed.add(id(clause))
+                if self._proof is not None:
+                    self._proof.append(("d", tuple(clause.literals)))
         if not removed:
             return
         self.learned = survivors
@@ -399,6 +419,8 @@ class Solver:
             span.add("sat.restarts", result.restarts)
             span.add("sat.learned_clauses", result.learned_clauses)
             span.add("sat.max_decision_level", result.max_decision_level)
+            if result.proof is not None:
+                span.add("sat.proof_steps", len(result.proof))
             return result
 
     def _run(
@@ -409,6 +431,12 @@ class Solver:
         start = time.perf_counter()
         result = self.stats
         if not self.ok:
+            # An input clause was already falsified by the input units
+            # alone; the empty clause is reverse-unit-propagation
+            # derivable directly from the original CNF.
+            if self._proof is not None:
+                self._proof.append(("a", ()))
+                result.proof = self._proof
             result.status = "unsat"
             result.cpu_seconds = time.perf_counter() - start
             return result
@@ -424,12 +452,18 @@ class Solver:
                 result.conflicts += 1
                 conflicts_since_restart += 1
                 if not self.trail_lim:
+                    if self._proof is not None:
+                        self._proof.append(("a", ()))
                     result.status = "unsat"
                     break
                 learnt, back_level = self._analyze(conflict)
                 self._backtrack(back_level)
+                if self._proof is not None:
+                    self._proof.append(("a", tuple(learnt)))
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):
+                        if self._proof is not None:
+                            self._proof.append(("a", ()))
                         result.status = "unsat"
                         break
                 else:
@@ -470,6 +504,7 @@ class Solver:
                 break
 
         result.cpu_seconds = time.perf_counter() - start
+        result.proof = self._proof
         return result
 
 
@@ -495,6 +530,13 @@ def solve_cnf(
     cnf: Cnf,
     max_conflicts: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    log_proof: bool = False,
 ) -> SatResult:
-    """Solve ``cnf`` with a fresh :class:`Solver` instance."""
-    return Solver(cnf).solve(max_conflicts=max_conflicts, max_seconds=max_seconds)
+    """Solve ``cnf`` with a fresh :class:`Solver` instance.
+
+    With ``log_proof=True`` the solver records a DRUP clause proof on
+    ``result.proof`` (see the module docstring); off by default.
+    """
+    return Solver(cnf, log_proof=log_proof).solve(
+        max_conflicts=max_conflicts, max_seconds=max_seconds
+    )

@@ -1,0 +1,125 @@
+"""The :class:`Witness` artifact: independently checked verdict evidence.
+
+A witness is attached to a :class:`~repro.core.results.VerificationResult`
+by ``verify(certify=True)`` and comes in four kinds:
+
+* ``"unsat-proof"`` — the design was proved correct by an UNSAT verdict;
+  the witness carries the solver's DRUP proof and the outcome of the
+  independent reverse-unit-propagation check against the exact CNF the
+  solver saw.
+* ``"counterexample"`` — the design was refuted by a SAT verdict; the
+  witness carries the reconstructed term-level counterexample
+  (:class:`~repro.witness.reconstruct.TermCounterexample`), replayed
+  through the EUFM evaluator and minimized.
+* ``"trivial"`` — the correctness formula collapsed to a constant during
+  encoding; there is no SAT artifact, the builder simplification *is* the
+  argument.
+* ``"rewrite-flag"`` — the rewriting rules flagged a defective update
+  slice before any SAT run; there is no propositional artifact to
+  certify (re-run with ``method="positive_equality"`` for one).
+
+``validated`` is True only when the independent check succeeded: the DRUP
+checker derived the empty clause, or the counterexample replayed the
+formula to ``False`` (both raw and minimized).  The two structural kinds
+are validated by construction of the pipeline, which the witness states
+in ``detail`` rather than claiming an independent check happened.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from .drup import DrupCheckResult, DrupProof
+from .reconstruct import TermCounterexample
+
+__all__ = ["WITNESS_KINDS", "Witness"]
+
+WITNESS_KINDS = ("unsat-proof", "counterexample", "trivial", "rewrite-flag")
+
+
+@dataclass
+class Witness:
+    """Evidence for one verification verdict; see the module docstring."""
+
+    kind: str
+    #: True when the independent check (DRUP / replay) succeeded.
+    validated: bool
+    detail: str = ""
+    # --- UNSAT side -----------------------------------------------------
+    proof: Optional[DrupProof] = None
+    check: Optional[DrupCheckResult] = None
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+    # --- SAT side -------------------------------------------------------
+    counterexample: Optional[TermCounterexample] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in WITNESS_KINDS:
+            raise ValueError(
+                f"unknown witness kind {self.kind!r}; use one of {WITNESS_KINDS}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def digest(self) -> str:
+        """Stable content digest of the witness evidence.
+
+        For proofs this is the DRUP text digest; for counterexamples a
+        hash of the minimized assignment and class structure.  Journaled
+        with campaign finish records so a resumed campaign can tell
+        whether the evidence it replays is the evidence it produced.
+        """
+        if self.proof is not None:
+            return self.proof.digest()
+        if self.counterexample is not None:
+            payload = json.dumps(
+                {
+                    "minimized": sorted(self.counterexample.minimized.items()),
+                    "classes": self.counterexample.classes,
+                    "replay": self.counterexample.replay_value,
+                },
+                sort_keys=True,
+            )
+            return hashlib.sha256(payload.encode()).hexdigest()[:16]
+        payload = f"{self.kind}:{self.detail}"
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def summary_dict(self) -> Dict[str, Any]:
+        """Compact journal-safe form (digests and sizes, not artifacts)."""
+        summary: Dict[str, Any] = {
+            "kind": self.kind,
+            "validated": self.validated,
+            "digest": self.digest(),
+            "detail": self.detail[:200],
+        }
+        if self.proof is not None:
+            summary["proof_additions"] = self.proof.additions
+            summary["proof_deletions"] = self.proof.deletions
+            summary["cnf_vars"] = self.cnf_vars
+            summary["cnf_clauses"] = self.cnf_clauses
+        if self.check is not None:
+            summary["check_detail"] = self.check.detail[:200]
+        if self.counterexample is not None:
+            summary.update(self.counterexample.summary_dict())
+        return summary
+
+    def render(self) -> str:
+        """Human-readable witness report."""
+        status = "VALIDATED" if self.validated else "NOT validated"
+        lines = [f"witness [{self.kind}] {status} (digest {self.digest()})"]
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        if self.proof is not None:
+            lines.append(
+                f"  DRUP proof: {self.proof.additions} addition(s), "
+                f"{self.proof.deletions} deletion(s) over a CNF with "
+                f"{self.cnf_vars} vars / {self.cnf_clauses} clauses"
+            )
+        if self.check is not None:
+            lines.append(f"  checker: {self.check.detail}")
+        if self.counterexample is not None:
+            lines.append(self.counterexample.render())
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Witness digests in campaign journals: write, resume, replay."""
+
+import json
+
+from repro.campaign import CampaignRunner, Job, JobResult, RetryPolicy
+
+
+def _runner(journal_path, **kwargs):
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=1))
+    kwargs.setdefault("certify", True)
+    return CampaignRunner(str(journal_path), **kwargs)
+
+
+def _jobs():
+    return [
+        Job.build(4, 2),
+        Job.build(
+            4, 2, bug_kind="pc-single-increment",
+            job_id="rw-N4-k2-pc-bug",
+        ),
+    ]
+
+
+class TestWitnessJournaling:
+    def test_finish_records_carry_witness(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        report = _runner(journal).run(_jobs())
+        proved = report.results["rw-N4-k2"]
+        buggy = report.results["rw-N4-k2-pc-bug"]
+        assert proved.status == "PROVED"
+        assert proved.witness["kind"] == "unsat-proof"
+        assert proved.witness["validated"] is True
+        assert buggy.status == "BUG_FOUND"
+        assert buggy.witness["kind"] == "counterexample"
+        assert buggy.witness["validated"] is True
+        assert buggy.witness["minimized_size"] <= buggy.witness["raw_size"]
+        assert buggy.witness["replay_value"] is False
+
+    def test_witness_survives_crash_and_resume(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        first = _runner(journal).run(_jobs())
+        digests = {
+            job_id: result.witness["digest"]
+            for job_id, result in first.results.items()
+        }
+        # A fresh runner (a "restarted process") replays from the journal
+        # without re-running verification or the checker.
+        resumed = _runner(journal).run(_jobs())
+        assert resumed.replayed == 2
+        for job_id, result in resumed.results.items():
+            assert result.from_journal
+            assert result.witness["digest"] == digests[job_id]
+            assert result.witness["validated"] is True
+
+    def test_resume_after_partial_run(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        jobs = _jobs()
+        _runner(journal).run(jobs[:1])
+        # The second job arrives only on resume: the finished one replays
+        # (with its witness), the new one runs fresh.
+        report = _runner(journal).run(jobs)
+        assert report.replayed == 1
+        assert report.results["rw-N4-k2"].from_journal
+        assert report.results["rw-N4-k2"].witness["kind"] == "unsat-proof"
+        fresh = report.results["rw-N4-k2-pc-bug"]
+        assert not fresh.from_journal
+        assert fresh.witness["kind"] == "counterexample"
+
+    def test_journal_lines_are_json_with_witness(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        _runner(journal).run(_jobs()[:1])
+        finishes = []
+        for line in journal.read_text().splitlines():
+            record = json.loads(line)
+            data = record.get("data", record)
+            if data.get("event") == "finish":
+                finishes.append(data)
+        assert finishes
+        assert finishes[0]["witness"]["kind"] == "unsat-proof"
+
+    def test_jobresult_dict_round_trip_preserves_witness(self):
+        result = JobResult(
+            job_id="j", status="PROVED", method="rewriting", attempts=1,
+            witness={"kind": "unsat-proof", "validated": True,
+                     "digest": "abc123"},
+        )
+        assert JobResult.from_dict(result.to_dict()).witness == result.witness
+
+    def test_without_certify_no_witness(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        report = _runner(journal, certify=False).run(_jobs()[:1])
+        assert report.results["rw-N4-k2"].witness is None
+
+    def test_parallel_workers_journal_witness(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        report = _runner(journal, workers=2).run(_jobs())
+        for result in report.results.values():
+            assert result.witness is not None
+            assert result.witness["validated"] is True

@@ -79,3 +79,55 @@ class TestEncodingStats:
 
         with pytest.raises(ValueError):
             encode_validity(eq(tvar("x"), tvar("y")), memory_mode="magic")
+
+
+class TestDecodeModelDontCares:
+    def test_unassigned_variables_decode_to_none(self):
+        phi = implies(bvar("p"), bvar("q"))
+        encoded = encode_validity(phi)
+        # A partial model: only p decided.
+        p_index = next(
+            index
+            for var, index in encoded.tseitin.var_map.items()
+            if var.name == "p"
+        )
+        assignment = decode_model(encoded, {p_index: True})
+        assert assignment["p"] is True
+        assert assignment["q"] is None
+
+    def test_every_known_variable_appears(self):
+        phi = implies(and_(bvar("p"), bvar("q")), bvar("r"))
+        encoded = encode_validity(phi)
+        assignment = decode_model(encoded, {})
+        assert set(assignment) == {
+            var.name for var in encoded.tseitin.var_map
+        }
+        assert all(value is None for value in assignment.values())
+
+    def test_constant_collapse_decodes_to_empty(self):
+        # A constant formula never reaches the solver; every variable the
+        # (empty) translation knows decodes, i.e. none.
+        from repro.eufm import TRUE
+
+        encoded = encode_validity(TRUE)
+        assert encoded.constant_validity is True
+        assert decode_model(encoded, {}) == {}
+
+    def test_missing_translation_raises(self):
+        import dataclasses
+
+        import pytest
+
+        from repro.errors import EncodingError
+
+        encoded = encode_validity(implies(bvar("p"), bvar("q")))
+        bare = dataclasses.replace(encoded, tseitin=None)
+        with pytest.raises(EncodingError):
+            decode_model(bare, {})
+
+    def test_real_counterexample_distinguishes_false_from_undecided(self):
+        phi = implies(bvar("p"), bvar("q"))
+        result = check_validity(phi)
+        values = set(result.counterexample.values())
+        # p=True, q=False are decided; None may appear for untouched vars.
+        assert True in values and False in values

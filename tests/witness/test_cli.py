@@ -1,0 +1,145 @@
+"""Tests for ``python -m repro witness`` and the single-run --certify flag."""
+
+import json
+
+import pytest
+
+from repro.witness.cli import main as witness_main
+
+
+ROB4 = ["--rob", "4", "--width", "2"]
+
+
+class TestCertifyCommand:
+    def test_correct_design_exits_zero(self, capsys):
+        assert witness_main(["certify", *ROB4]) == 0
+        out = capsys.readouterr().out
+        assert "unsat-proof" in out
+        assert "VALIDATED" in out
+
+    def test_proof_and_cnf_files_round_trip(self, tmp_path, capsys):
+        proof_path = tmp_path / "proof.drup"
+        cnf_path = tmp_path / "formula.cnf"
+        code = witness_main([
+            "certify", *ROB4,
+            "--proof-out", str(proof_path),
+            "--cnf-out", str(cnf_path),
+        ])
+        assert code == 0
+        assert proof_path.read_text().strip().endswith("0")
+        assert cnf_path.read_text().startswith("c ")
+        capsys.readouterr()
+        assert witness_main([
+            "check", "--cnf", str(cnf_path), "--proof", str(proof_path)
+        ]) == 0
+        assert "VALIDATED" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        assert witness_main(["certify", *ROB4, "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["kind"] == "unsat-proof"
+        assert payload["validated"] is True
+
+    def test_buggy_design_with_validated_witness_exits_zero(self, capsys):
+        code = witness_main([
+            "certify", *ROB4, "--bug", "pc-single-increment"
+        ])
+        assert code == 0
+        assert "counterexample" in capsys.readouterr().out
+
+    def test_rewrite_flag_exits_one(self, capsys):
+        # The witness exists but nothing propositional validates it.
+        code = witness_main([
+            "certify", *ROB4, "--bug", "forward-wrong-source", "--entry", "2"
+        ])
+        assert code == 1
+        assert "rewrite-flag" in capsys.readouterr().out
+
+    def test_proof_out_without_proof_exits_three(self, tmp_path, capsys):
+        code = witness_main([
+            "certify", *ROB4,
+            "--bug", "forward-wrong-source", "--entry", "2",
+            "--proof-out", str(tmp_path / "proof.drup"),
+        ])
+        assert code == 3
+        assert not (tmp_path / "proof.drup").exists()
+
+
+class TestExplainCommand:
+    def test_explains_seeded_bug(self, capsys):
+        code = witness_main([
+            "explain", *ROB4, "--bug", "pc-single-increment"
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimized assignment" in out
+        assert "replays to False" in out
+
+    def test_correct_design_has_nothing_to_explain(self, capsys):
+        assert witness_main(["explain", *ROB4]) == 3
+        assert "no term-level counterexample" in capsys.readouterr().err
+
+
+class TestCheckCommand:
+    def _artifacts(self, tmp_path, capsys):
+        proof_path = tmp_path / "proof.drup"
+        cnf_path = tmp_path / "formula.cnf"
+        assert witness_main([
+            "certify", *ROB4,
+            "--proof-out", str(proof_path),
+            "--cnf-out", str(cnf_path),
+        ]) == 0
+        capsys.readouterr()
+        return cnf_path, proof_path
+
+    def test_tampered_proof_rejected(self, tmp_path, capsys):
+        cnf_path, proof_path = self._artifacts(tmp_path, capsys)
+        lines = proof_path.read_text().splitlines()
+        additions = [l for l in lines if l != "0" and not l.startswith("d ")]
+        lines.remove(additions[0])
+        proof_path.write_text("\n".join(lines) + "\n")
+        code = witness_main([
+            "check", "--cnf", str(cnf_path), "--proof", str(proof_path)
+        ])
+        assert code == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_unparsable_proof_exits_three(self, tmp_path, capsys):
+        cnf_path, proof_path = self._artifacts(tmp_path, capsys)
+        proof_path.write_text("1 2\n")
+        code = witness_main([
+            "check", "--cnf", str(cnf_path), "--proof", str(proof_path)
+        ])
+        assert code == 3
+        assert "witness error" in capsys.readouterr().err
+
+    def test_missing_file_exits_three(self, tmp_path, capsys):
+        code = witness_main([
+            "check",
+            "--cnf", str(tmp_path / "absent.cnf"),
+            "--proof", str(tmp_path / "absent.drup"),
+        ])
+        assert code == 3
+
+
+class TestMainDispatch:
+    def test_witness_subcommand_dispatch(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["witness", "certify", *ROB4]) == 0
+        assert "unsat-proof" in capsys.readouterr().out
+
+    def test_single_run_certify_flag(self, capsys):
+        from repro.__main__ import main
+
+        assert main([*ROB4, "--certify"]) == 0
+        out = capsys.readouterr().out
+        assert "witness [unsat-proof] VALIDATED" in out
+
+    def test_single_run_certify_buggy_exits_one(self, capsys):
+        from repro.__main__ import main
+
+        code = main([*ROB4, "--bug", "pc-single-increment", "--certify"])
+        assert code == 1
+        assert "counterexample" in capsys.readouterr().out

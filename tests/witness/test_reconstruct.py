@@ -1,0 +1,128 @@
+"""Tests for term-level counterexample reconstruction and replay."""
+
+import pytest
+
+from repro.encode import check_validity
+from repro.eufm import and_, bvar, eq, implies, not_, or_, tvar, uf, up
+from repro.witness import reconstruct_counterexample, replay_assignment
+
+
+def _falsify(phi, **kwargs):
+    """Check validity, assert invalid, return (encoded, counterexample)."""
+    result = check_validity(phi, **kwargs)
+    assert not result.valid
+    assert result.counterexample is not None
+    return result.encoded, result.counterexample
+
+
+class TestPropositional:
+    def test_replay_is_false(self):
+        encoded, cex = _falsify(implies(bvar("p"), bvar("q")))
+        assert replay_assignment(encoded, cex) is False
+
+    def test_reconstruction_shape(self):
+        encoded, cex = _falsify(implies(bvar("p"), bvar("q")))
+        rebuilt = reconstruct_counterexample(encoded, cex)
+        assert rebuilt.replay_value is False
+        assert rebuilt.bool_values["p"] is True
+        assert rebuilt.bool_values["q"] is False
+        assert rebuilt.uf_tables == {}
+        assert rebuilt.replayed_false
+
+    def test_minimization_drops_dont_cares(self):
+        # not(p) v not(q) v r: falsified only by p=q=True, r=False; the
+        # CNF also mentions an irrelevant variable s on a satisfied
+        # branch which minimization may discard but never needs.
+        phi = or_(not_(bvar("p")), not_(bvar("q")), bvar("r"),
+                  and_(bvar("s"), not_(bvar("s"))))
+        encoded, cex = _falsify(phi)
+        rebuilt = reconstruct_counterexample(encoded, cex)
+        assert rebuilt.replayed_false
+        assert rebuilt.minimized_size <= rebuilt.raw_size
+        assert set(rebuilt.minimized) <= {"p", "q", "r", "s"}
+        assert rebuilt.minimized["p"] is True
+        assert rebuilt.minimized["q"] is True
+
+    def test_minimize_false_keeps_minimized_empty(self):
+        encoded, cex = _falsify(implies(bvar("p"), bvar("q")))
+        rebuilt = reconstruct_counterexample(encoded, cex, minimize=False)
+        assert rebuilt.minimized == {}
+        assert rebuilt.minimized_replay_value is None
+        assert not rebuilt.replayed_false
+
+
+class TestTermLevel:
+    def test_congruence_counterexample(self):
+        # f(x) = f(y) -> x = y is invalid; the reconstruction must merge
+        # the two fresh f-application variables while keeping the
+        # p-variables x and y apart.
+        x, y = tvar("x"), tvar("y")
+        phi = implies(eq(uf("f", [x]), uf("f", [y])), eq(x, y))
+        encoded, cex = _falsify(phi)
+        rebuilt = reconstruct_counterexample(encoded, cex)
+        assert rebuilt.replayed_false
+        assert rebuilt.term_values["x"] != rebuilt.term_values["y"]
+        merged = [group for group in rebuilt.classes if len(group) > 1]
+        assert len(merged) == 1
+        assert all(name.startswith("vc!f!") for name in merged[0])
+        # The two table rows for f land on the same result value.
+        results = {value for _, value in rebuilt.uf_tables["f"]}
+        assert len(results) == 1
+
+    def test_distinct_values_per_class(self):
+        x, y = tvar("x"), tvar("y")
+        phi = implies(eq(uf("f", [x]), uf("f", [y])), eq(x, y))
+        encoded, cex = _falsify(phi)
+        rebuilt = reconstruct_counterexample(encoded, cex)
+        roots = {min(group) for group in rebuilt.classes}
+        values = {rebuilt.term_values[root] for root in roots}
+        assert len(values) == len(rebuilt.classes)
+        assert rebuilt.domain_size == len(rebuilt.classes)
+
+    def test_predicate_counterexample(self):
+        # P(x) -> P(y) is invalid; the synthesized UP table must give
+        # P(x) = True, P(y) = False.
+        x, y = tvar("x"), tvar("y")
+        phi = implies(up("P", [x]), up("P", [y]))
+        encoded, cex = _falsify(phi)
+        rebuilt = reconstruct_counterexample(encoded, cex)
+        assert rebuilt.replayed_false
+        table = dict(rebuilt.up_tables["P"])
+        assert table[(rebuilt.term_values["x"],)] is True
+        assert table[(rebuilt.term_values["y"],)] is False
+
+    def test_disagreements_name_the_broken_equation(self):
+        x, y = tvar("x"), tvar("y")
+        phi = implies(eq(uf("f", [x]), uf("f", [y])), eq(x, y))
+        encoded, cex = _falsify(phi)
+        rebuilt = reconstruct_counterexample(encoded, cex)
+        assert any("(= x y)" in text for text in rebuilt.disagreements)
+
+    def test_replay_rejects_wrong_model(self):
+        # Flipping the model of p must make the formula true again.
+        encoded, cex = _falsify(implies(bvar("p"), bvar("q")))
+        wrong = dict(cex)
+        wrong["p"] = False
+        assert replay_assignment(encoded, wrong) is True
+
+
+class TestRendering:
+    def _rebuilt(self):
+        x, y = tvar("x"), tvar("y")
+        phi = implies(eq(uf("f", [x]), uf("f", [y])), eq(x, y))
+        encoded, cex = _falsify(phi)
+        return reconstruct_counterexample(encoded, cex)
+
+    def test_render_mentions_tables_and_classes(self):
+        text = self._rebuilt().render()
+        assert "equal term classes" in text
+        assert "UF f:" in text
+        assert "replays to False" in text
+
+    def test_summary_dict_is_json_safe(self):
+        import json
+
+        summary = self._rebuilt().summary_dict()
+        assert summary["replay_value"] is False
+        assert summary["minimized_size"] <= summary["raw_size"]
+        json.dumps(summary)
