@@ -118,6 +118,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="deprecated alias for --max-seconds",
     )
     parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="pipeline-wide wall-clock deadline, enforced at every stage "
+        "(simulation, rewriting, encoding, SAT, witness) — unlike "
+        "--max-seconds, which only the SAT solver honors",
+    )
+    parser.add_argument(
+        "--max-memory",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="memory budget for the whole run, in MiB",
+    )
+    parser.add_argument(
         "--analyze",
         action="store_true",
         help="run the soundness analyzers and report their findings",
@@ -185,6 +201,8 @@ def main(argv=None) -> int:
             criterion=args.criterion,
             max_conflicts=args.max_conflicts,
             max_seconds=max_seconds,
+            max_wall_seconds=args.deadline,
+            max_memory_mb=args.max_memory,
             analyze=args.analyze or args.strict,
             strict=args.strict,
             certify=args.certify,
@@ -203,12 +221,14 @@ def main(argv=None) -> int:
         if exc.conflicts is not None:
             spent.append(f"{exc.conflicts} conflicts")
         if exc.seconds is not None:
-            spent.append(f"{exc.seconds:.1f}s in SAT")
+            spent.append(f"{exc.seconds:.1f}s")
         spent_text = f" after {', '.join(spent)}" if spent else ""
+        stage_text = f" in stage {exc.stage!r}" if exc.stage else ""
         print(
-            f"budget exhausted{spent_text}: {exc}\n"
-            "hint: raise --max-conflicts/--max-seconds, or use "
-            "'python -m repro campaign' for automatic budget escalation",
+            f"budget exhausted{spent_text}{stage_text}: {exc}\n"
+            "hint: raise --max-conflicts/--max-seconds/--deadline/"
+            "--max-memory, or use 'python -m repro campaign' for "
+            "automatic budget escalation",
             file=sys.stderr,
         )
         return 2

@@ -104,6 +104,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="base per-attempt wall-clock budget (escalated on retries)",
     )
     parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="base per-attempt pipeline-wide deadline in seconds, "
+        "enforced at every stage and escalated on retries "
+        "(unlike --max-seconds, which only the SAT solver honors)",
+    )
+    parser.add_argument(
+        "--max-memory",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="base per-attempt memory budget in MiB (escalated on "
+        "retries); exhaustion is retried like the paper's 4 GB kills",
+    )
+    parser.add_argument(
         "--max-attempts",
         type=int,
         default=3,
@@ -154,12 +171,39 @@ def build_parser() -> argparse.ArgumentParser:
         "the parent remains the single journal writer",
     )
     parser.add_argument(
+        "--breaker",
+        type=int,
+        default=None,
+        metavar="K",
+        help="open a per-config-family circuit after K consecutive "
+        "INCONCLUSIVE results; the family's remaining jobs "
+        "short-circuit instead of burning their budgets (default: off)",
+    )
+    parser.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="with --workers: kill workers silent for S seconds and "
+        "re-queue their job as a WorkerHung failed attempt (default 30)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="with --workers: seconds between worker heartbeats "
+        "(default 1.0; keep well under --hang-timeout)",
+    )
+    parser.add_argument(
         "--inject",
         action="append",
         default=[],
-        metavar="KIND@JOB_ID[:ATTEMPT]",
+        metavar="KIND[:ARG[:ARG]]@JOB_ID[:ATTEMPT|*]",
         help="plant a deterministic fault (repeatable), e.g. "
-        "solver-timeout@rw-N4-k2:1; see repro.campaign.faults for kinds",
+        "solver-timeout@rw-N4-k2:1, hang@rw-N3-k1:* (every attempt), "
+        "memory-bloat:64@rw-N4-k2, slow:sat:0.5@rw-N4-k2; "
+        "see repro.campaign.faults for kinds",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
@@ -207,6 +251,8 @@ def _collect_jobs(args: argparse.Namespace) -> Optional[List[Job]]:
                     bug_entry=args.entry,
                     max_conflicts=args.max_conflicts,
                     max_seconds=args.max_seconds,
+                    max_wall_seconds=args.deadline,
+                    max_memory_mb=args.max_memory,
                 )
             )
     return jobs or None
@@ -231,6 +277,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if args.max_conflicts is not None
                 else RetryPolicy.base_conflicts,
                 base_seconds=args.max_seconds,
+                base_wall_seconds=args.deadline,
+                base_memory_mb=args.max_memory,
             ),
             degrade=DegradePolicy(
                 fallback_method=None if args.no_degrade else "positive_equality"
@@ -241,6 +289,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             analyze=args.analyze,
             certify=args.certify,
             workers=args.workers,
+            breaker_threshold=args.breaker,
+            hang_timeout=args.hang_timeout,
+            heartbeat_interval=args.heartbeat_interval,
         )
         report = runner.run(jobs)
     except (CampaignError, JournalError, OSError) as exc:

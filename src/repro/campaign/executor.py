@@ -20,9 +20,12 @@ single-writer invariant — and the fault degrades to a plain crash.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import BudgetExhausted, ReproError
+from ..guard.deadline import current_deadline, use_deadline
+from ..guard.memory import MemoryBudget
 from .faults import FaultPlan
 from .jobs import Job, JobResult
 from .journal import Journal
@@ -113,36 +116,61 @@ class JobExecutor:
         last_detail = ""
         for attempt in range(start_attempt, self.retry.max_attempts + 1):
             max_conflicts, max_seconds = self.retry.budget_for(job, attempt)
-            emit({
+            max_wall, max_memory = self.retry.guard_budget_for(job, attempt)
+            start_event: Dict[str, object] = {
                 "event": "start",
                 "job_id": job.job_id,
                 "attempt": attempt,
                 "method": method,
                 "max_conflicts": max_conflicts,
                 "max_seconds": max_seconds,
-            })
+            }
+            # Guard budgets ride in the start record only when enforced,
+            # so journals of unsupervised campaigns keep their old shape.
+            if max_wall is not None:
+                start_event["max_wall_seconds"] = max_wall
+            if max_memory is not None:
+                start_event["max_memory_mb"] = max_memory
+            emit(start_event)
             used += 1
+            # The attempt-scoped supervision deadline: derived from the
+            # ambient one (inheriting a worker's heartbeat sink), capped
+            # by its remaining allowance, and installed around *both* the
+            # fault seam and the verify call, so injected hangs, bloat
+            # and slowdowns compose with the budgets that should catch
+            # them.  Unset budgets keep the ambient deadline untouched.
+            guard_scope = nullcontext()
+            if max_wall is not None or max_memory is not None:
+                guard_scope = use_deadline(current_deadline().derive(
+                    max_wall_seconds=max_wall,
+                    memory=(
+                        MemoryBudget.from_mb(max_memory)
+                        if max_memory is not None else None
+                    ),
+                ))
             try:
-                if self.fault_plan is not None:
-                    self.fault_plan.fire(
-                        job.job_id, attempt, method, self.fault_journal
+                with guard_scope:
+                    if self.fault_plan is not None:
+                        self.fault_plan.fire(
+                            job.job_id, attempt, method, self.fault_journal
+                        )
+                    # Only forward opt-in kwargs when they are on, so
+                    # custom verify_fn overrides keep their narrower
+                    # signature.
+                    extra: Dict[str, object] = {}
+                    if self.analyze:
+                        extra["analyze"] = True
+                    if self.certify:
+                        extra["certify"] = True
+                    result = self.verify_fn(
+                        job.config(),
+                        method=method,
+                        bug=job.bug(),
+                        criterion=job.criterion,
+                        max_conflicts=max_conflicts,
+                        max_seconds=max_seconds,
+                        **extra,
                     )
-                # Only forward opt-in kwargs when they are on, so custom
-                # verify_fn overrides keep their narrower signature.
-                extra: Dict[str, object] = {}
-                if self.analyze:
-                    extra["analyze"] = True
-                if self.certify:
-                    extra["certify"] = True
-                result = self.verify_fn(
-                    job.config(),
-                    method=method,
-                    bug=job.bug(),
-                    criterion=job.criterion,
-                    max_conflicts=max_conflicts,
-                    max_seconds=max_seconds,
-                    **extra,
-                )
             except (BudgetExhausted, MemoryError) as exc:
                 # Recoverable: the next attempt gets an escalated budget
                 # (the paper's protocol: rerun the 4 GB kills bigger).

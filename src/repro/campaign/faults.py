@@ -16,7 +16,17 @@ the seam where the runner hands a job to :func:`repro.core.verify`:
   no recovery path may catch: it unwinds the whole campaign exactly like
   ``kill -9`` mid-run, leaving the journal with an in-flight job;
 * ``journal-corrupt`` — garbles the tail of the journal *and then*
-  crashes, simulating a torn write at the moment the machine died.
+  crashes, simulating a torn write at the moment the machine died;
+* ``hang`` — stops emitting heartbeats and sleeps (forever by default,
+  or for ``amount`` seconds), the wedge a livelocked solver produces; in
+  a parallel campaign the parent's hang detector must kill the worker;
+* ``memory-bloat`` — allocates ``amount`` MiB in 1 MiB chunks, charging
+  the ambient :class:`repro.guard.MemoryBudget` so a configured budget
+  trips :class:`~repro.errors.MemoryBudgetExhausted`; without a budget
+  it degrades to a plain :class:`MemoryError`;
+* ``slow`` — injects a per-check delay into one pipeline stage via
+  :meth:`repro.guard.Deadline.add_stage_delay`, turning a fast job into
+  a deadline-limited one without touching the pipeline.
 
 Because injected failures use the same exception types as real ones, the
 runner cannot distinguish drill from emergency — the recovery machinery
@@ -35,10 +45,12 @@ invariant itself, so there is no tail for them to tear.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import BudgetExhausted, CampaignError, RewriteFailed
+from ..guard.deadline import current_deadline
 from .journal import Journal
 
 __all__ = ["FaultKind", "Fault", "FaultPlan", "InjectedCrash"]
@@ -61,8 +73,20 @@ class FaultKind:
     OOM = "oom"
     CRASH = "crash"
     JOURNAL_CORRUPT = "journal-corrupt"
+    HANG = "hang"
+    MEMORY_BLOAT = "memory-bloat"
+    SLOW = "slow"
 
-    ALL = (SOLVER_TIMEOUT, REWRITE_FAILURE, OOM, CRASH, JOURNAL_CORRUPT)
+    ALL = (
+        SOLVER_TIMEOUT,
+        REWRITE_FAILURE,
+        OOM,
+        CRASH,
+        JOURNAL_CORRUPT,
+        HANG,
+        MEMORY_BLOAT,
+        SLOW,
+    )
 
 
 @dataclass(frozen=True)
@@ -72,9 +96,14 @@ class Fault:
     Attributes:
         kind: one of :class:`FaultKind`.
         job_id: the job the fault applies to.
-        attempt: 1-based attempt number that triggers it.
+        attempt: 1-based attempt number that triggers it, or ``0`` as a
+            wildcard — the fault fires on *every* attempt of the job
+            (the way to model a *permanent* hang that survives retries).
         method: restrict to a method phase (``None`` = any method).
         detail: free-form text carried into the raised exception.
+        stage: for ``slow``, the pipeline stage to delay (``"*"`` = all).
+        amount: kind-specific magnitude — seconds for ``hang``/``slow``,
+            MiB for ``memory-bloat``.
     """
 
     kind: str
@@ -82,14 +111,26 @@ class Fault:
     attempt: int = 1
     method: Optional[str] = None
     detail: str = ""
+    stage: Optional[str] = None
+    amount: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FaultKind.ALL:
             raise CampaignError(
                 f"unknown fault kind {self.kind!r}; use one of {FaultKind.ALL}"
             )
-        if self.attempt < 1:
-            raise CampaignError("fault attempt numbers are 1-based")
+        if self.attempt < 0:
+            raise CampaignError(
+                "fault attempt numbers are 1-based (0 = every attempt)"
+            )
+        if self.kind == FaultKind.SLOW and self.amount is None:
+            raise CampaignError(
+                "slow faults need a delay: slow[:STAGE]:SECONDS@JOB"
+            )
+        if self.kind == FaultKind.MEMORY_BLOAT and self.amount is None:
+            raise CampaignError(
+                "memory-bloat faults need a size: memory-bloat:MIB@JOB"
+            )
 
     def to_dict(self) -> Dict[str, object]:
         """Picklable/JSON form (the shape worker task messages carry)."""
@@ -99,6 +140,8 @@ class Fault:
             "attempt": self.attempt,
             "method": self.method,
             "detail": self.detail,
+            "stage": self.stage,
+            "amount": self.amount,
         }
 
     @classmethod
@@ -107,31 +150,73 @@ class Fault:
 
     @classmethod
     def parse(cls, text: str) -> "Fault":
-        """Parse the CLI form ``KIND@JOB_ID[:ATTEMPT]``.
+        """Parse the CLI form ``KIND[:ARG[:ARG]]@JOB_ID[:ATTEMPT|*]``.
 
         Examples: ``solver-timeout@rw-N4-k2`` (attempt 1),
-        ``oom@rw-N8-k2:2`` (attempt 2).
+        ``oom@rw-N8-k2:2`` (attempt 2), ``hang@rw-N3-k1:*`` (a permanent
+        hang firing on every attempt), ``hang:10@rw-N3-k1`` (hang for
+        10 s), ``memory-bloat:64@rw-N4-k2`` (allocate 64 MiB), and
+        ``slow:sat:0.5@rw-N4-k2`` (0.5 s delay at every SAT-stage
+        deadline check; omit the stage — ``slow:0.5@...`` — to slow
+        every stage).
         """
         if "@" not in text:
             raise CampaignError(
-                f"bad fault spec {text!r}; expected KIND@JOB_ID[:ATTEMPT]"
+                f"bad fault spec {text!r}; expected "
+                "KIND[:ARG[:ARG]]@JOB_ID[:ATTEMPT|*]"
             )
-        kind, _, target = text.partition("@")
+        head, _, target = text.partition("@")
+        parts = [part.strip() for part in head.split(":")]
+        kind, args = parts[0], parts[1:]
+        stage: Optional[str] = None
+        amount: Optional[float] = None
+
+        def as_amount(word: str) -> float:
+            try:
+                return float(word)
+            except ValueError:
+                raise CampaignError(
+                    f"bad fault spec {text!r}; {word!r} is not a number"
+                )
+
+        if kind == FaultKind.SLOW and len(args) == 2:
+            stage, amount = args[0], as_amount(args[1])
+        elif kind in (
+            FaultKind.SLOW, FaultKind.HANG, FaultKind.MEMORY_BLOAT
+        ) and len(args) == 1:
+            amount = as_amount(args[0])
+        elif args:
+            raise CampaignError(
+                f"bad fault spec {text!r}; unexpected argument(s) "
+                f"{args} for fault kind {kind!r}"
+            )
         job_id, _, attempt_text = target.rpartition(":")
         if not job_id:
             job_id, attempt_text = target, ""
-        try:
-            attempt = int(attempt_text) if attempt_text else 1
-        except ValueError:
-            raise CampaignError(
-                f"bad fault spec {text!r}; attempt {attempt_text!r} "
-                "is not an integer"
-            )
-        return cls(kind=kind.strip(), job_id=job_id, attempt=attempt)
+        if attempt_text == "*":
+            attempt = 0
+        else:
+            try:
+                attempt = int(attempt_text) if attempt_text else 1
+            except ValueError:
+                raise CampaignError(
+                    f"bad fault spec {text!r}; attempt {attempt_text!r} "
+                    "is not an integer or '*'"
+                )
+        return cls(
+            kind=kind, job_id=job_id, attempt=attempt,
+            stage=stage, amount=amount,
+        )
 
 
 class FaultPlan:
-    """A deterministic, one-shot schedule of faults."""
+    """A deterministic schedule of faults.
+
+    Exact-attempt faults fire at most once.  Wildcard faults
+    (``attempt=0``) fire on *every* attempt of their job — the shape a
+    permanent wedge has, where retrying cannot help.  An exact fault
+    shadows the wildcard on its attempt.
+    """
 
     def __init__(self, faults: Iterable[Fault] = ()) -> None:
         self._by_key: Dict[Tuple[str, int], Fault] = {}
@@ -144,13 +229,14 @@ class FaultPlan:
                 )
             self._by_key[key] = fault
         self._fired: Set[Tuple[str, int]] = set()
+        self._wildcard_fires = 0
 
     def __len__(self) -> int:
         return len(self._by_key)
 
     @property
     def fired(self) -> int:
-        return len(self._fired)
+        return len(self._fired) + self._wildcard_fires
 
     def for_job(self, job_id: str) -> Tuple[Fault, ...]:
         """This job's faults — the deterministic per-job partition that a
@@ -165,14 +251,20 @@ class FaultPlan:
         self, job_id: str, attempt: int, method: str,
         journal: Optional[Journal] = None,
     ) -> None:
-        """Raise the planned fault for this attempt, if any (once)."""
+        """Raise the planned fault for this attempt, if any."""
         key = (job_id, attempt)
         fault = self._by_key.get(key)
+        wildcard = False
         if fault is None or key in self._fired:
-            return
+            fault, wildcard = self._by_key.get((job_id, 0)), True
+            if fault is None:
+                return
         if fault.method is not None and fault.method != method:
             return
-        self._fired.add(key)
+        if wildcard:
+            self._wildcard_fires += 1
+        else:
+            self._fired.add(key)
         where = f"job {job_id!r} attempt {attempt} ({method})"
         detail = fault.detail or f"injected at {where}"
         if fault.kind == FaultKind.SOLVER_TIMEOUT:
@@ -191,4 +283,53 @@ class FaultPlan:
             if journal is not None:
                 journal.corrupt_tail()
             raise InjectedCrash(f"injected torn-write crash: {detail}")
+        if fault.kind == FaultKind.HANG:
+            _hang(fault.amount, detail)
+        if fault.kind == FaultKind.MEMORY_BLOAT:
+            _bloat_memory(float(fault.amount or 0.0), detail)
+        if fault.kind == FaultKind.SLOW:
+            current_deadline().add_stage_delay(
+                fault.stage or "*", float(fault.amount or 0.0)
+            )
+            return
         raise InjectedCrash(f"injected crash: {detail}")
+
+
+def _hang(seconds: Optional[float], detail: str) -> None:
+    """Go silent: sleep without heartbeats, checks, or progress.
+
+    Unbounded (``seconds=None``) hangs mimic a true livelock and only
+    end when the parent's hang detector kills the worker.  Bounded hangs
+    eventually raise :class:`~repro.errors.BudgetExhausted` — a
+    sequential-safe wedge the executor treats as a recoverable failure.
+    """
+    if seconds is None:
+        while True:  # pragma: no cover - only ends via SIGTERM/SIGKILL
+            time.sleep(60.0)
+    time.sleep(seconds)
+    raise BudgetExhausted(
+        f"injected hang expired: {detail}",
+        budget_kind="wall",
+        seconds=seconds,
+        stage="injected-hang",
+    )
+
+
+def _bloat_memory(mib: float, detail: str) -> None:
+    """Allocate ``mib`` MiB in 1 MiB chunks, charging the ambient budget.
+
+    With a :class:`repro.guard.MemoryBudget` ambient, the charge trips
+    :class:`~repro.errors.MemoryBudgetExhausted` deterministically
+    before the allocation finishes; without one, the allocation
+    completes and a plain :class:`MemoryError` is raised — recoverable
+    through the executor's OOM path either way.
+    """
+    deadline = current_deadline()
+    hoard: List[bytearray] = []
+    chunk = 1 << 20
+    for _ in range(max(1, int(mib))):
+        hoard.append(bytearray(chunk))
+        deadline.charge(bytes_=chunk)
+        deadline.check("memory-bloat")
+    del hoard
+    raise MemoryError(f"injected memory bloat ({mib:g} MiB): {detail}")

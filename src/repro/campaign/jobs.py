@@ -44,6 +44,11 @@ class Job:
     #: base budgets of attempt 1; ``None`` defers to the runner's policy.
     max_conflicts: Optional[int] = None
     max_seconds: Optional[float] = None
+    #: base *supervision* budgets of attempt 1 — a pipeline-wide wall
+    #: deadline and memory ceiling (see :mod:`repro.guard`); ``None``
+    #: defers to the runner's policy, which may also leave them unset.
+    max_wall_seconds: Optional[float] = None
+    max_memory_mb: Optional[float] = None
 
     def config(self) -> ProcessorConfig:
         return ProcessorConfig(
@@ -56,6 +61,22 @@ class Job:
         if self.bug_kind is None:
             return None
         return Bug(self.bug_kind, entry=self.bug_entry, operand=self.bug_operand)
+
+    def family(self) -> str:
+        """Config-family key for the circuit breaker.
+
+        Jobs in one family differ only in reorder-buffer size — the axis
+        the paper's scaling tables sweep.  When K siblings in a row end
+        INCONCLUSIVE, the larger configurations in the family are
+        hopeless too (cost grows monotonically with ``n_rob``), so the
+        breaker short-circuits them instead of burning their budgets.
+        """
+        parts = [self.method, f"k{self.issue_width}", self.criterion]
+        if self.retire_width is not None:
+            parts.append(f"l{self.retire_width}")
+        if self.bug_kind is not None:
+            parts.append(f"{self.bug_kind}@{self.bug_entry}.{self.bug_operand}")
+        return "/".join(parts)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -70,6 +91,8 @@ class Job:
             "bug_operand": self.bug_operand,
             "max_conflicts": self.max_conflicts,
             "max_seconds": self.max_seconds,
+            "max_wall_seconds": self.max_wall_seconds,
+            "max_memory_mb": self.max_memory_mb,
         }
 
     @classmethod

@@ -22,6 +22,19 @@ from the journaled failure counts, exactly like a campaign-level resume —
 and spawns a replacement worker.  A job that crashes its worker on every
 attempt therefore converges to ``INCONCLUSIVE`` instead of looping.
 
+Liveness: a crashed worker is visible to process polling, but a *wedged*
+one — livelocked in a C extension, swapping, deadlocked — stays alive and
+silent forever.  Every worker therefore installs an ambient heartbeat
+:class:`~repro.guard.Deadline` around each job: the pipeline's own
+deadline check sites double as heartbeat emitters, streaming throttled
+``heartbeat`` events (never journaled) over the result queue.  A busy
+worker silent for ``hang_timeout`` seconds is declared hung; the parent
+drains the queue once more (a beat may be in flight), then escalates
+``terminate()`` → ``kill()``, journals the in-flight attempt as
+``attempt_failed`` with error ``WorkerHung``, re-queues the job, and
+spawns a replacement — so a permanently hanging job converges to
+``INCONCLUSIVE`` through the same escalation schedule as a crashing one.
+
 Each worker installs its own ambient :class:`~repro.obs.tracer.Tracer`
 (the ``obs`` ContextVar is per-process state) and ships per-job wall/CPU
 seconds back for parent-side merging into the campaign metrics registry.
@@ -39,15 +52,24 @@ from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import CampaignError
+from ..guard.breaker import CircuitBreaker
 from .executor import JobExecutor
 from .faults import Fault, FaultPlan, InjectedCrash
 from .jobs import Job, JobResult
 from .journal import Journal
 
-__all__ = ["ParallelCampaignExecutor", "WORKER_CRASH_ERROR"]
+__all__ = [
+    "ParallelCampaignExecutor",
+    "WORKER_CRASH_ERROR",
+    "WORKER_HUNG_ERROR",
+]
 
 #: ``error`` value journaled for attempts whose worker process died.
 WORKER_CRASH_ERROR = "WorkerCrashed"
+
+#: ``error`` value journaled for attempts whose worker went silent past
+#: the hang timeout and had to be killed by the parent.
+WORKER_HUNG_ERROR = "WorkerHung"
 
 #: Exit status a worker uses to simulate process death on InjectedCrash
 #: (os._exit: no cleanup, no queue flushing — as close to kill -9 as a
@@ -68,6 +90,7 @@ def _worker_main(
     worker_id: int, inbox: Any, outbox: Any, options: Dict[str, Any]
 ) -> None:
     """Worker loop: pull job tasks until the ``None`` shutdown sentinel."""
+    from ..guard.deadline import Deadline, use_deadline
     from ..obs.tracer import Tracer, use_tracer
 
     verify_fn = options.get("verify_fn")
@@ -98,8 +121,23 @@ def _worker_main(
         # A fresh ambient tracer per process: the obs ContextVar is
         # per-process state, so worker spans never mix with the parent's.
         tracer = Tracer()
+        # The heartbeat deadline (no budgets of its own): every deadline
+        # check site anywhere in the pipeline now doubles as a liveness
+        # beat to the parent, throttled to one per heartbeat_interval.
+        # Attempt-scoped supervision budgets derive from it in the
+        # executor, inheriting the sink — a supervised attempt needs no
+        # extra wiring to stay observable.
+        heartbeat = Deadline(
+            heartbeat=lambda stage: outbox.put({
+                "event": "heartbeat",
+                "worker": worker_id,
+                "job_id": job.job_id,
+                "stage": stage,
+            }),
+            heartbeat_interval=options.get("heartbeat_interval", 1.0),
+        )
         try:
-            with use_tracer(tracer):
+            with use_deadline(heartbeat), use_tracer(tracer):
                 with tracer.span("campaign.job"):
                     result = executor.run_job(job, outbox.put, failed_attempts)
         except InjectedCrash:
@@ -118,16 +156,34 @@ def _worker_main(
         })
 
 
+def _escalate_stop(process, grace: float = 1.0) -> str:
+    """Stop a worker process: ``terminate()``, then ``kill()`` if it
+    survives the grace period (a wedged worker can ignore SIGTERM —
+    blocked in uninterruptible I/O, or swapping too hard to schedule).
+    Returns how the process actually died: ``"terminated"`` or
+    ``"killed"``."""
+    process.terminate()
+    process.join(timeout=grace)
+    if not process.is_alive():
+        return "terminated"
+    process.kill()
+    process.join(timeout=5.0)
+    return "killed"
+
+
 class _WorkerHandle:
     """Parent-side bookkeeping for one worker process."""
 
-    __slots__ = ("worker_id", "process", "inbox", "job")
+    __slots__ = ("worker_id", "process", "inbox", "job", "last_beat")
 
     def __init__(self, worker_id: int, process, inbox) -> None:
         self.worker_id = worker_id
         self.process = process
         self.inbox = inbox
         self.job: Optional[Job] = None
+        #: monotonic time of the last sign of life (any queue message or
+        #: a job assignment); the hang detector measures silence from it.
+        self.last_beat = time.monotonic()
 
 
 class ParallelCampaignExecutor:
@@ -149,9 +205,18 @@ class ParallelCampaignExecutor:
         failed_attempts: Dict[Tuple[str, str], int],
         on_finish: Callable[[Job, JobResult], None],
         merge_metrics: Callable[[Dict[str, float]], None],
+        breaker: Optional[CircuitBreaker] = None,
+        short_circuit: Optional[Callable[[Job], JobResult]] = None,
+        hang_timeout: float = 30.0,
+        heartbeat_interval: float = 1.0,
     ) -> None:
         if workers < 1:
             raise CampaignError("workers must be at least 1")
+        if hang_timeout <= heartbeat_interval:
+            raise CampaignError(
+                "hang_timeout must exceed heartbeat_interval, or every "
+                "healthy worker reads as hung between beats"
+            )
         self.workers = workers
         self._options = {
             "retry": retry,
@@ -159,6 +224,7 @@ class ParallelCampaignExecutor:
             "analyze": analyze,
             "certify": certify,
             "verify_fn": verify_fn,
+            "heartbeat_interval": heartbeat_interval,
         }
         self._fault_plan = fault_plan
         self._journal = journal
@@ -166,9 +232,14 @@ class ParallelCampaignExecutor:
         self._failed = failed_attempts
         self._on_finish = on_finish
         self._merge_metrics = merge_metrics
+        self._breaker = breaker
+        self._short_circuit = short_circuit
+        self._hang_timeout = hang_timeout
         self._ctx = _campaign_context()
         #: worker processes that died mid-job (each journaled + retried).
         self.worker_crashes = 0
+        #: worker processes the hang detector had to kill.
+        self.worker_hangs = 0
         self._outbox = self._ctx.SimpleQueue()
         self._pool: List[_WorkerHandle] = []
         self._next_worker_id = 0
@@ -188,11 +259,14 @@ class ParallelCampaignExecutor:
             self._spawn_worker()
         try:
             while remaining > 0:
-                self._dispatch()
+                remaining -= self._dispatch()
                 if self._poll(0.2):
                     remaining -= self._handle(self._outbox.get())
-                else:
-                    remaining -= self._reap_dead_workers()
+                # Reap every iteration, not only on poll timeouts: steady
+                # heartbeat traffic keeps the poll returning True, which
+                # must not starve crash/hang detection.
+                remaining -= self._reap_dead_workers()
+                remaining -= self._reap_hung_workers()
         finally:
             self._shutdown()
 
@@ -221,16 +295,41 @@ class ParallelCampaignExecutor:
         for handle in self._pool:
             handle.process.join(timeout=5.0)
             if handle.process.is_alive():  # pragma: no cover - stuck worker
-                handle.process.terminate()
-                handle.process.join(timeout=1.0)
+                # A worker too wedged for the sentinel is likely too
+                # wedged for SIGTERM; escalate to SIGKILL rather than
+                # leak the process past campaign shutdown.
+                how = _escalate_stop(handle.process)
+                self._log(
+                    f"worker {handle.worker_id}: ignored the shutdown "
+                    f"sentinel; {how} (exit code "
+                    f"{handle.process.exitcode})"
+                )
 
     # -- scheduling ------------------------------------------------------
 
-    def _dispatch(self) -> None:
-        """Hand pending jobs to idle workers (one job per worker)."""
+    def _dispatch(self) -> int:
+        """Hand pending jobs to idle workers (one job per worker).
+
+        Returns the number of jobs finished *without* running — pending
+        jobs whose config family's circuit breaker opened are drained to
+        short-circuit ``INCONCLUSIVE`` results here, before they can
+        claim a worker.
+        """
+        finished = 0
+        if self._breaker is not None and self._short_circuit is not None \
+                and self._pending:
+            kept: deque = deque()
+            while self._pending:
+                job = self._pending.popleft()
+                if self._breaker.is_open(job.family()):
+                    self._on_finish(job, self._short_circuit(job))
+                    finished += 1
+                else:
+                    kept.append(job)
+            self._pending = kept
         for handle in self._pool:
             if not self._pending:
-                return
+                return finished
             if handle.job is not None or not handle.process.is_alive():
                 continue
             job = self._pending.popleft()
@@ -249,6 +348,8 @@ class ParallelCampaignExecutor:
                 "faults": [fault.to_dict() for fault in faults],
             })
             handle.job = job
+            handle.last_beat = time.monotonic()
+        return finished
 
     def _poll(self, timeout: float) -> bool:
         """True when a result-queue message is ready within ``timeout``."""
@@ -264,17 +365,27 @@ class ParallelCampaignExecutor:
     def _handle(self, message: Dict[str, Any]) -> int:
         """Process one worker message; returns 1 when a job finished."""
         event = message.get("event")
+        if event == "heartbeat":
+            # Liveness only — never journaled (hundreds per job would
+            # bury the records replay actually reads).
+            for handle in self._pool:
+                if handle.worker_id == message.get("worker"):
+                    handle.last_beat = time.monotonic()
+                    break
+            return 0
         if event == "log":
             self._log(message.get("text", ""))
             return 0
         if event == "start":
             job_id = message["job_id"]
+            self._touch_worker(job_id)
             self._in_flight[job_id] = (message["attempt"], message["method"])
             self._last_method[job_id] = message["method"]
             self._journal.append(message)
             return 0
         if event == "attempt_failed":
             key = (message["job_id"], message["method"])
+            self._touch_worker(message["job_id"])
             self._failed[key] = self._failed.get(key, 0) + 1
             self._in_flight.pop(message["job_id"], None)
             self._journal.append(message)
@@ -294,6 +405,14 @@ class ParallelCampaignExecutor:
         raise CampaignError(  # pragma: no cover - protocol guard
             f"unknown worker message {event!r}"
         )
+
+    def _touch_worker(self, job_id: str) -> None:
+        """Refresh the liveness stamp of the worker running ``job_id`` —
+        every protocol message is proof of life, not just heartbeats."""
+        for handle in self._pool:
+            if handle.job is not None and handle.job.job_id == job_id:
+                handle.last_beat = time.monotonic()
+                return
 
     def _reap_dead_workers(self) -> int:
         """Detect crashed workers; journal + requeue their in-flight jobs.
@@ -342,11 +461,82 @@ class ParallelCampaignExecutor:
                 f"and re-queued"
             )
             self._pending.appendleft(job)
-        # Keep the pool sized to the remaining work.
+        self._replenish_pool()
+        return completed
+
+    def _reap_hung_workers(self) -> int:
+        """Detect, kill, journal and requeue silently wedged workers.
+
+        A busy worker whose last sign of life predates the hang timeout
+        is suspect.  The queue is drained first — its beat may be queued
+        behind slower messages — and only workers *still* silent after
+        the drain are escalated ``terminate()`` → ``kill()`` and their
+        in-flight attempt journaled as ``WorkerHung``.  Returns the
+        number of jobs completed by messages found during the drain.
+        """
+        now = time.monotonic()
+        suspects = [
+            h for h in self._pool
+            if h.job is not None
+            and h.process.is_alive()
+            and now - h.last_beat > self._hang_timeout
+        ]
+        if not suspects:
+            return 0
+        completed = 0
+        while self._poll(0):
+            completed += self._handle(self._outbox.get())
+        now = time.monotonic()
+        for handle in suspects:
+            if handle not in self._pool:
+                continue  # the drain completed or crashed it
+            if handle.job is None or not handle.process.is_alive():
+                continue
+            if now - handle.last_beat <= self._hang_timeout:
+                continue  # the drain surfaced a beat after all
+            job = handle.job
+            silence = now - handle.last_beat
+            how = _escalate_stop(handle.process)
+            # Remove before the dead-worker reaper runs, or the kill
+            # would be double-journaled as a crash.
+            self._pool.remove(handle)
+            attempt, method = self._in_flight.pop(
+                job.job_id,
+                (None, self._last_method.get(job.job_id, job.method)),
+            )
+            if attempt is None:
+                attempt = self._failed.get((job.job_id, method), 0) + 1
+            self._journal.append({
+                "event": "attempt_failed",
+                "job_id": job.job_id,
+                "attempt": attempt,
+                "method": method,
+                "error": WORKER_HUNG_ERROR,
+                "detail": (
+                    f"worker {handle.worker_id} sent no heartbeat for "
+                    f"{silence:.1f}s (timeout {self._hang_timeout:g}s); "
+                    f"{how} (exit code {handle.process.exitcode}); "
+                    "job re-queued"
+                ),
+            })
+            self._failed[(job.job_id, method)] = (
+                self._failed.get((job.job_id, method), 0) + 1
+            )
+            self.worker_hangs += 1
+            self._log(
+                f"{job.job_id}: worker {handle.worker_id} hung "
+                f"(silent {silence:.1f}s, {how}); journaled failed "
+                f"attempt {attempt} and re-queued"
+            )
+            self._pending.appendleft(job)
+        self._replenish_pool()
+        return completed
+
+    def _replenish_pool(self) -> None:
+        """Keep the pool sized to the remaining work."""
         alive = sum(1 for h in self._pool if h.process.is_alive())
         busy = sum(1 for h in self._pool if h.job is not None)
         want = min(self.workers, busy + len(self._pending))
         while alive < want:
             self._spawn_worker()
             alive += 1
-        return completed

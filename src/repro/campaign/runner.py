@@ -37,6 +37,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import CampaignError
+from ..guard.breaker import SHORT_CIRCUIT_PREFIX, CircuitBreaker
+from ..guard.deadline import Deadline, use_deadline
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer, use_tracer
 from .executor import JobExecutor
@@ -63,6 +65,13 @@ class RetryPolicy:
     conflicts_cap: int = 2_000_000
     base_seconds: Optional[float] = None
     seconds_cap: Optional[float] = None
+    #: supervision budgets (see :mod:`repro.guard`): a pipeline-wide wall
+    #: deadline and memory ceiling per attempt, escalated and capped like
+    #: the SAT budgets.  ``None`` (the default) enforces neither.
+    base_wall_seconds: Optional[float] = None
+    wall_cap: Optional[float] = None
+    base_memory_mb: Optional[float] = None
+    memory_cap_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -88,6 +97,29 @@ class RetryPolicy:
             if self.seconds_cap is not None:
                 seconds = min(seconds, self.seconds_cap)
         return conflicts, seconds
+
+    def guard_budget_for(
+        self, job: Job, attempt: int
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """The (max_wall_seconds, max_memory_mb) supervision budget of one
+        attempt — escalated exactly like the SAT budget, so a wall-clock
+        or memory kill retries bigger, the paper's 4 GB-limit protocol."""
+        factor = self.escalation ** (attempt - 1)
+        base_w = job.max_wall_seconds if job.max_wall_seconds is not None \
+            else self.base_wall_seconds
+        wall = None
+        if base_w is not None:
+            wall = base_w * factor
+            if self.wall_cap is not None:
+                wall = min(wall, self.wall_cap)
+        base_m = job.max_memory_mb if job.max_memory_mb is not None \
+            else self.base_memory_mb
+        memory = None
+        if base_m is not None:
+            memory = base_m * factor
+            if self.memory_cap_mb is not None:
+                memory = min(memory, self.memory_cap_mb)
+        return wall, memory
 
 
 @dataclass(frozen=True)
@@ -202,6 +234,19 @@ class CampaignRunner:
         workers: worker processes to fan jobs out to; ``1`` (the default)
             runs everything in this process.  The parent stays the single
             journal writer either way (see :mod:`repro.campaign.parallel`).
+        breaker_threshold: open a per-config-family circuit after this
+            many *consecutive* ``INCONCLUSIVE`` outcomes in the family
+            (see :meth:`repro.campaign.jobs.Job.family`); the family's
+            remaining jobs short-circuit to ``INCONCLUSIVE`` without
+            running and one ``circuit_open`` event is journaled.
+            ``None`` (the default) disables the breaker.
+        hang_timeout: parallel runs only — seconds of heartbeat silence
+            after which a busy worker is declared hung, escalated
+            terminate→kill, journaled as a ``WorkerHung`` failed attempt,
+            and its job re-queued.
+        heartbeat_interval: parallel runs only — seconds between worker
+            heartbeats (emitted from the pipeline's deadline check
+            sites).  Keep well under ``hang_timeout``.
     """
 
     def __init__(
@@ -217,6 +262,9 @@ class CampaignRunner:
         analyze: bool = False,
         certify: bool = False,
         workers: int = 1,
+        breaker_threshold: Optional[int] = None,
+        hang_timeout: float = 30.0,
+        heartbeat_interval: float = 1.0,
     ) -> None:
         self._verify_is_default = verify_fn is None
         if verify_fn is None:
@@ -234,6 +282,12 @@ class CampaignRunner:
         self.analyze = analyze
         self.certify = certify
         self.workers = workers
+        self.hang_timeout = hang_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self._breaker = (
+            CircuitBreaker(breaker_threshold)
+            if breaker_threshold is not None else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -289,6 +343,10 @@ class CampaignRunner:
                     results[job.job_id] = result
                     replayed += 1
                     self._log(f"{job.job_id}: {result.status} (from journal)")
+                    # Re-seed the breaker so a resumed campaign reaches
+                    # the same short-circuit decisions (the open
+                    # transition was journaled live; don't re-journal).
+                    self._record_breaker(job, result, journal=None)
                     self._invoke_callback(job, result, journal)
                 else:
                     to_run.append(job)
@@ -368,11 +426,54 @@ class CampaignRunner:
         journal.append({"event": "finish", **result.to_dict()})
         results[job.job_id] = result
         self._registry.merge(result.metrics)
+        self._record_breaker(job, result, journal)
         self._log(
             f"{job.job_id}: {result.status} after "
             f"{result.attempts} attempt(s) via {result.method}"
         )
         self._invoke_callback(job, result, journal)
+
+    def _record_breaker(
+        self, job: Job, result: JobResult, journal: Optional[Journal]
+    ) -> None:
+        """Feed one terminal outcome to the circuit breaker.
+
+        Short-circuited results (the breaker's own decisions, marked by
+        their detail prefix) are never recorded — they would keep a
+        family's failure streak alive without new evidence.  The open
+        transition is journaled once, live (``journal=None`` on replay).
+        """
+        if self._breaker is None:
+            return
+        if result.detail.startswith(SHORT_CIRCUIT_PREFIX):
+            return
+        family = job.family()
+        opened = self._breaker.record(
+            family, result.status == "INCONCLUSIVE"
+        )
+        if opened:
+            if journal is not None:
+                journal.append({
+                    "event": "circuit_open",
+                    "family": family,
+                    "job_id": job.job_id,
+                    "threshold": self._breaker.threshold,
+                })
+            self._log(
+                f"circuit breaker OPEN for family {family!r} after "
+                f"{self._breaker.threshold} consecutive INCONCLUSIVE "
+                "result(s); its remaining jobs will short-circuit"
+            )
+
+    def _short_circuit_result(self, job: Job) -> JobResult:
+        """The INCONCLUSIVE outcome of a job the breaker refused to run."""
+        return JobResult(
+            job_id=job.job_id,
+            status="INCONCLUSIVE",
+            method=job.method,
+            attempts=0,
+            detail=f"{SHORT_CIRCUIT_PREFIX} for family {job.family()!r}",
+        )
 
     def _run_sequential(
         self,
@@ -392,8 +493,19 @@ class CampaignRunner:
             fault_journal=journal,
         )
         for job in to_run:
+            if self._breaker is not None and self._breaker.is_open(
+                job.family()
+            ):
+                self._finish_job(
+                    job, self._short_circuit_result(job), journal, results
+                )
+                continue
             tracer = Tracer()
-            with use_tracer(tracer):
+            # A per-job ambient deadline (no budgets of its own): the
+            # anchor `slow` faults attach their stage delays to, and the
+            # parent the executor's attempt-scoped budgets derive from —
+            # mirroring the heartbeat deadline a parallel worker installs.
+            with use_deadline(Deadline()), use_tracer(tracer):
                 with tracer.span("campaign.job"):
                     result = executor.run_job(
                         job, journal.append, failed_attempts
@@ -435,8 +547,15 @@ class CampaignRunner:
                 job, result, journal, results
             ),
             merge_metrics=merge,
+            breaker=self._breaker,
+            short_circuit=self._short_circuit_result,
+            hang_timeout=self.hang_timeout,
+            heartbeat_interval=self.heartbeat_interval,
         )
         executor.run(to_run)
         crashes = executor.worker_crashes
         if crashes:
             self._registry.merge({"campaign.worker_crashes": float(crashes)})
+        hangs = executor.worker_hangs
+        if hangs:
+            self._registry.merge({"campaign.worker_hangs": float(hangs)})

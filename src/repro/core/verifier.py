@@ -25,8 +25,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from contextlib import nullcontext
+
 from ..encode.evc import check_validity
 from ..errors import AnalysisError, BudgetExhausted
+from ..guard.deadline import current_deadline, use_deadline
+from ..guard.memory import MemoryBudget
 from ..obs.tracer import Span, Tracer, use_tracer
 from ..processor.bugs import Bug
 from ..processor.correctness import build_correctness_formula, run_diagram
@@ -131,6 +135,9 @@ def verify(
     criterion: str = "disjunction",
     max_conflicts: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    max_wall_seconds: Optional[float] = None,
+    max_cpu_seconds: Optional[float] = None,
+    max_memory_mb: Optional[float] = None,
     analyze: bool = False,
     strict: bool = False,
     trace: bool = False,
@@ -150,6 +157,20 @@ def verify(
             4 GB memory limit in the scaling experiments.  The exception's
             ``timings`` dict still carries the phase timings accumulated
             before the abort.
+        max_wall_seconds / max_cpu_seconds: *pipeline-wide* deadline,
+            enforced cooperatively at every stage (tlsim, rewriting, each
+            encoding stage, the SAT loop, witness reconstruction) via an
+            ambient :class:`repro.guard.Deadline`; raises
+            :class:`repro.errors.BudgetExhausted` whose ``stage`` names
+            the layer that hit the limit.  Unlike ``max_seconds`` (which
+            only the SAT solver honors), this bounds the whole run.
+        max_memory_mb: memory budget for the run (charged DAG-node and
+            learned-clause counters plus sampling; see
+            :class:`repro.guard.MemoryBudget`); raises
+            :class:`repro.errors.MemoryBudgetExhausted`.
+            When a deadline is already ambient (e.g. inside a campaign
+            worker), the new budgets are capped by its remaining
+            allowance and its heartbeat sink is inherited.
         analyze: run the :mod:`repro.analysis` soundness analyzers over
             the run's artifacts and attach their findings to
             ``result.diagnostics``.
@@ -172,9 +193,27 @@ def verify(
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; use one of {METHODS}")
     analyze = analyze or strict
+    guard_deadline = None
+    guard_scope = nullcontext()
+    if (
+        max_wall_seconds is not None
+        or max_cpu_seconds is not None
+        or max_memory_mb is not None
+    ):
+        memory = (
+            MemoryBudget.from_mb(max_memory_mb)
+            if max_memory_mb is not None
+            else None
+        )
+        guard_deadline = current_deadline().derive(
+            max_wall_seconds=max_wall_seconds,
+            max_cpu_seconds=max_cpu_seconds,
+            memory=memory,
+        )
+        guard_scope = use_deadline(guard_deadline)
     tracer = Tracer()
     try:
-        with use_tracer(tracer):
+        with guard_scope, use_tracer(tracer):
             with tracer.span("verify"):
                 result = _run_traced(
                     config, method, bug, criterion, max_conflicts,
@@ -195,6 +234,13 @@ def verify(
         raise
 
     root = tracer.root
+    # Publish the supervision counters (guard.*) onto the root span —
+    # from this run's derived deadline when budgets were given here, else
+    # from the ambient one a campaign executor installed around us.
+    # NULL_DEADLINE reports no counters, so unsupervised runs are clean.
+    active = guard_deadline if guard_deadline is not None else current_deadline()
+    for counter, value in active.counters().items():
+        root.add(counter, value)
     result.timings = _derive_timings(root)
     if trace:
         result.trace = root

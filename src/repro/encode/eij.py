@@ -38,6 +38,7 @@ from ..eufm.ast import (
     Write,
 )
 from ..eufm.traversal import iter_dag, _rebuild
+from ..guard.deadline import current_deadline
 
 __all__ = ["EijResult", "encode_equalities"]
 
@@ -76,6 +77,8 @@ def encode_equalities(
     classification ever justifying maximal diversity over it.
     """
     result = EijResult(formula=phi)
+    deadline = current_deadline()
+    deadline.check("encode.eij")
     # Cache of pairwise term-equality formulas, keyed on unordered pairs.
     pair_cache: Dict[Tuple[Term, Term], Formula] = {}
     rebuilt: Dict[Expr, Expr] = {}
@@ -108,6 +111,7 @@ def encode_equalities(
         root_key = _pair_key(t1, t2)
         stack: List[Tuple[Term, Term]] = [root_key]
         while stack:
+            deadline.tick("encode.eij")
             a, b = stack[-1]
             key = (a, b)
             if key in pair_cache:
@@ -152,6 +156,7 @@ def encode_equalities(
         return pair_cache[root_key]
 
     for node in iter_dag(phi):
+        deadline.tick("encode.eij")
         if isinstance(node, (UFApp, UPApp, Read, Write)):
             raise TypeError(
                 f"{node.kind!r} node reached the e_ij encoding; run the "

@@ -36,6 +36,7 @@ from typing import Dict, List, Set, Tuple
 from ..eufm import builder
 from ..eufm.ast import Eq, Expr, Formula, Read, Term, TermITE, TermVar, Write
 from ..eufm.evaluator import infer_memory_sorts
+from ..guard.deadline import current_deadline
 from ..eufm.polarity import NEG, POS, _compute_polarity
 from ..eufm.traversal import iter_dag, map_dag, rewrite_dag
 
@@ -76,7 +77,9 @@ def eliminate_memories(phi: Formula, max_rounds: int = 10) -> MemoryElimResult:
     formulas converge in a single round.
     """
     result = MemoryElimResult(formula=phi)
+    deadline = current_deadline()
     for _ in range(max_rounds):
+        deadline.check("encode.memory")
         memory_sorted = infer_memory_sorts(phi)
         if not memory_sorted:
             result.formula = phi
@@ -114,6 +117,7 @@ def eliminate_memories(phi: Formula, max_rounds: int = 10) -> MemoryElimResult:
         phi = map_dag(phi, abstract_base_read)
 
     for node in iter_dag(phi):
+        deadline.tick("encode.memory")
         if isinstance(node, (Read, Write)):
             raise ValueError(f"memory node survived elimination: {node!r}")
     result.formula = phi
@@ -130,10 +134,12 @@ def _push_all_reads(phi: Formula) -> Formula:
     do not overflow the interpreter stack.
     """
     cache: Dict[Tuple[Term, Term], Term] = {}
+    deadline = current_deadline()
 
     def pushed_read(mem: Term, addr: Term) -> Term:
         stack: List[Tuple[Term, Term]] = [(mem, addr)]
         while stack:
+            deadline.tick("encode.memory")
             cur_mem, cur_addr = stack[-1]
             key = (cur_mem, cur_addr)
             if key in cache:
@@ -190,6 +196,7 @@ def abstract_memories_conservative(phi: Formula) -> Formula:
     correctness formulas, where both diagram sides perform identical
     in-order memory accesses.
     """
+    current_deadline().check("encode.memory")
 
     def replace(_original: Expr, rebuilt: Expr):
         if isinstance(rebuilt, Read):

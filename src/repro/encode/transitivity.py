@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..eufm import builder
 from ..eufm.ast import BoolVar, Formula, TermVar
+from ..guard.deadline import current_deadline
 
 __all__ = ["TransitivityResult", "transitivity_constraints"]
 
@@ -56,14 +57,18 @@ def transitivity_constraints(
             result.fill_vars[pair] = fresh
         return edges[pair]
 
+    deadline = current_deadline()
+    deadline.check("encode.transitivity")
     remaining = dict(adjacency)
     emitted: Set[FrozenSet[TermVar]] = set()
     while remaining:
+        deadline.tick("encode.transitivity")
         # Greedy minimum-degree elimination (ties by name for determinism).
         vertex = min(remaining, key=lambda v: (len(remaining[v]), v.name))
         neighbors = sorted(remaining.pop(vertex), key=lambda v: v.name)
         for index, first in enumerate(neighbors):
             for second in neighbors[index + 1 :]:
+                deadline.tick("encode.transitivity")
                 # Fill edge between the neighbors, then the triangle.
                 pair = frozenset((first, second))
                 edge_var(first, second)

@@ -35,6 +35,7 @@ from ..eufm.ast import (
 )
 from ..eufm.polarity import PolarityInfo
 from ..eufm.traversal import iter_dag
+from ..guard.deadline import current_deadline
 
 __all__ = ["UFElimResult", "eliminate_uf"]
 
@@ -68,6 +69,8 @@ def eliminate_uf(
     determines which fresh term variables are classified general.  When
     omitted, every fresh variable is conservatively treated as general.
     """
+    deadline = current_deadline()
+    deadline.check("encode.uf_elim")
     for node in iter_dag(phi):
         if isinstance(node, (Read, Write)):
             raise TypeError("eliminate memories before eliminating UFs")
@@ -86,6 +89,7 @@ def eliminate_uf(
     from ..eufm.traversal import _rebuild
 
     for node in iter_dag(phi):
+        deadline.tick("encode.uf_elim")
         if isinstance(node, UFApp):
             args = tuple(rebuilt[a] for a in node.args)
             rebuilt[node] = _eliminate_app(

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 __all__ = [
     "ReproError",
     "BudgetExhausted",
+    "MemoryBudgetExhausted",
     "RewriteFailed",
     "EncodingError",
     "SolverError",
@@ -44,7 +45,12 @@ class BudgetExhausted(ReproError, TimeoutError):
     Attributes:
         conflicts: SAT conflicts spent before the abort (if known).
         seconds: wall-clock seconds spent in the SAT solver (if known).
-        budget_kind: ``"conflicts"``, ``"seconds"`` or ``"memory"``.
+        budget_kind: ``"conflicts"``, ``"seconds"``, ``"wall"``, ``"cpu"``
+            or ``"memory"``.
+        stage: pipeline stage that observed the exhaustion (``"tlsim"``,
+            ``"rewrite"``, ``"encode.eij"``, ``"sat"``, ``"witness"``,
+            ...) when a :class:`repro.guard.Deadline` raised it; ``None``
+            for plain solver-budget exhaustion.
         timings: phase timings accumulated before the abort; the driver
             layers enrich this dict as the exception propagates so the
             caller still sees simulate/rewrite/translate/sat splits.
@@ -57,13 +63,45 @@ class BudgetExhausted(ReproError, TimeoutError):
         conflicts: Optional[int] = None,
         seconds: Optional[float] = None,
         budget_kind: str = "conflicts",
+        stage: Optional[str] = None,
         timings: Optional[Dict[str, float]] = None,
     ) -> None:
         super().__init__(message)
         self.conflicts = conflicts
         self.seconds = seconds
         self.budget_kind = budget_kind
+        self.stage = stage
         self.timings: Dict[str, float] = dict(timings or {})
+
+
+class MemoryBudgetExhausted(BudgetExhausted, MemoryError):
+    """A memory budget ran out before a verdict.
+
+    Subclasses both :class:`BudgetExhausted` (the campaign executor's
+    recoverable-retry path catches ``(BudgetExhausted, MemoryError)``, so
+    either parent suffices for escalation) and :class:`MemoryError` (the
+    exception a real allocator failure raises, which the paper's 4 GB
+    kills correspond to).
+
+    Attributes:
+        bytes_used: estimated bytes attributed to the run at the abort.
+        max_bytes: the budget that was exceeded.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        bytes_used: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        stage: Optional[str] = None,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> None:
+        super().__init__(
+            message, budget_kind="memory", stage=stage, timings=timings
+        )
+        self.bytes_used = bytes_used
+        self.max_bytes = max_bytes
 
 
 class RewriteFailed(ReproError):

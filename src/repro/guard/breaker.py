@@ -1,0 +1,61 @@
+"""Per-config-family circuit breaker for verification campaigns.
+
+A campaign grid typically scales one dimension (the paper's Table 2
+scales the reorder-buffer size N within a fixed method / issue-width
+family).  When a family's small configurations already exhaust every
+budget and fallback, its larger siblings will too — only slower.  The
+breaker watches *consecutive* terminal failures per family
+(``INCONCLUSIVE`` results; ``BUG_FOUND`` is a successful verdict) and,
+once the threshold is reached, *opens*: remaining jobs of that family
+short-circuit to ``INCONCLUSIVE`` without running, and the runner
+journals one ``circuit_open`` event.
+
+The breaker is per-campaign state, not persisted: on resume, the runner
+re-seeds it from the replayed terminal results, so an interrupted
+campaign converges to the same short-circuit decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+__all__ = ["CircuitBreaker", "SHORT_CIRCUIT_PREFIX"]
+
+#: ``JobResult.detail`` prefix of a short-circuited outcome.  Results
+#: carrying it are *decisions of the breaker*, not evidence about the
+#: configuration, so the runner never feeds them back into
+#: :meth:`CircuitBreaker.record` (neither live nor on journal replay).
+SHORT_CIRCUIT_PREFIX = "circuit breaker open"
+
+
+class CircuitBreaker:
+    """Counts consecutive failures per family; opens at ``threshold``."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be at least 1")
+        self.threshold = threshold
+        self._consecutive: Dict[str, int] = {}
+        self._open: Set[str] = set()
+
+    def is_open(self, family: str) -> bool:
+        return family in self._open
+
+    @property
+    def open_families(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._open))
+
+    def record(self, family: str, failed: bool) -> bool:
+        """Record one terminal outcome; returns True when this record
+        just opened the family's circuit (journal the transition)."""
+        if family in self._open:
+            return False
+        if not failed:
+            self._consecutive[family] = 0
+            return False
+        count = self._consecutive.get(family, 0) + 1
+        self._consecutive[family] = count
+        if count >= self.threshold:
+            self._open.add(family)
+            return True
+        return False

@@ -62,6 +62,15 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         choices=("disjunction", "case_split"),
         default="disjunction",
     )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="run under a pipeline-wide wall-clock deadline; guard "
+        "activity shows up as guard.* counters on the trace",
+    )
+    parser.add_argument(
+        "--max-memory", type=float, default=None, metavar="MB",
+        help="run under a cooperative memory budget (see --deadline)",
+    )
 
 
 def _run_traced(args: argparse.Namespace):
@@ -70,7 +79,8 @@ def _run_traced(args: argparse.Namespace):
 
     config = ProcessorConfig(n_rob=args.rob, issue_width=args.width)
     return verify(
-        config, method=args.method, criterion=args.criterion, trace=True
+        config, method=args.method, criterion=args.criterion, trace=True,
+        max_wall_seconds=args.deadline, max_memory_mb=args.max_memory,
     )
 
 

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import RewriteFailed
 from ..eufm import builder
+from ..guard.deadline import current_deadline
 from ..eufm.ast import (
     FALSE,
     TRUE,
@@ -148,7 +149,9 @@ def _rewrite_diagram(
     working: List[ChainItem] = list(impl_chain.items)
     spec_items: List[ChainItem] = list(spec_chain.items)
 
+    deadline = current_deadline()
     for entry in range(1, n + 1):
+        deadline.check("rewrite")
         failure = _process_entry(
             entry, l, proc_vars, working, spec_items, spec_chain,
             result.rules_applied,

@@ -31,10 +31,21 @@ from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import SolverError
+from ..guard.deadline import current_deadline
 from ..obs.tracer import current_tracer
 from .cnf import Cnf
 
 __all__ = ["SatResult", "Solver", "solve_cnf"]
+
+#: Propagations between wall-clock/deadline checks in the main loop.  The
+#: conflict path also checks, but a propagation-heavy run with few
+#: conflicts would otherwise never look at the clock at all.
+_PROP_CHECK_INTERVAL = 2048
+
+#: Rough per-learned-clause overhead in bytes (clause object + watch-list
+#: entries), on top of 8 bytes per literal; charged to the ambient
+#: memory budget.
+_CLAUSE_BYTES = 88
 
 
 @dataclass
@@ -445,9 +456,22 @@ class Solver:
         luby_index = 1
         conflicts_until_restart = restart_base * _luby(luby_index)
         conflicts_since_restart = 0
+        deadline = current_deadline()
+        deadline.check("sat")
+        next_prop_check = _PROP_CHECK_INTERVAL
 
         while True:
             conflict = self._propagate()
+            if result.propagations >= next_prop_check:
+                # The clock must be consulted on the propagation counter
+                # too: a propagation-heavy run with few conflicts would
+                # never reach the conflict path's check below.
+                next_prop_check = result.propagations + _PROP_CHECK_INTERVAL
+                if max_seconds is not None and \
+                        time.perf_counter() - start > max_seconds:
+                    result.status = "unknown"
+                    break
+                deadline.check("sat")
             if conflict is not None:
                 result.conflicts += 1
                 conflicts_since_restart += 1
@@ -474,6 +498,7 @@ class Solver:
                     self.watches.setdefault(-learnt[1], []).append(clause)
                     self._enqueue(learnt[0], clause)
                     result.learned_clauses += 1
+                    deadline.charge(bytes_=_CLAUSE_BYTES + 8 * len(learnt))
                 self.var_inc /= self.var_decay
                 self.cla_inc /= self.cla_decay
                 if max_conflicts is not None and result.conflicts >= max_conflicts:

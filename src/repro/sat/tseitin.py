@@ -31,6 +31,7 @@ from ..eufm.ast import (
     Or,
 )
 from ..eufm.traversal import iter_dag
+from ..guard.deadline import current_deadline
 from ..obs.tracer import current_tracer
 from .cnf import Cnf
 
@@ -104,6 +105,8 @@ def tseitin(phi: Formula, polarity_aware: bool = False) -> TseitinResult:
     cnf = Cnf()
     var_map: Dict[BoolVar, int] = {}
     literal: Dict[Expr, int] = {}
+    deadline = current_deadline()
+    deadline.check("encode.tseitin")
     polarity = _gate_polarities(phi) if polarity_aware else None
 
     def directions(node) -> Tuple[bool, bool]:
@@ -113,6 +116,7 @@ def tseitin(phi: Formula, polarity_aware: bool = False) -> TseitinResult:
         return bool(mask & _POS), bool(mask & _NEG)
 
     for node in iter_dag(phi):
+        deadline.tick("encode.tseitin")
         if isinstance(node, BoolConst):
             raise ValueError(
                 "Boolean constants below the root should have been simplified away"

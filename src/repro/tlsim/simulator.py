@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Set
 
 from ..errors import ReproError
 from ..eufm.ast import Expr, Formula, Term
+from ..guard.deadline import current_deadline
 from ..obs.tracer import current_tracer
 from .circuit import Circuit
 from .components import Component, Latch
@@ -106,6 +107,7 @@ class Simulator:
         """Evaluate combinational logic (event-driven, topological order)."""
         if not self._dirty:
             return
+        deadline = current_deadline()
         for component in self._order:
             if component not in self._dirty:
                 self.stats.components_skipped += 1
@@ -117,12 +119,14 @@ class Simulator:
                 continue
             self._last_inputs[component] = inputs
             self.stats.component_evaluations += 1
+            deadline.tick("tlsim")
             outputs = component.evaluate(self.values)
             for signal, expr in outputs.items():
                 self._set(signal, expr)
 
     def step(self) -> None:
         """One clock cycle: settle combinational logic, capture latches."""
+        current_deadline().check("tlsim")
         self.settle()
         captured: Dict[Signal, Expr] = {}
         for latch in self.circuit.latches:

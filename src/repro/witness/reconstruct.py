@@ -47,6 +47,7 @@ from ..eufm.evaluator import Interpretation, _eval_node, infer_memory_sorts
 from ..eufm.polarity import NEG
 from ..eufm.printer import to_sexpr
 from ..eufm.traversal import iter_dag, term_variables
+from ..guard.deadline import current_deadline
 from ..obs.tracer import current_tracer
 
 __all__ = ["TermCounterexample", "reconstruct_counterexample", "replay_assignment"]
@@ -323,7 +324,9 @@ def _minimize(
     current: Dict[str, bool] = {
         name: value for name, value in assignment.items() if value is not None
     }
+    deadline = current_deadline()
     for name in sorted(current):
+        deadline.check("witness")
         kept = current.pop(name)
         still_false = True
         for candidate in (True, False):
@@ -379,6 +382,7 @@ def reconstruct_counterexample(
     needed for reconstruction are missing (constant collapse).
     """
     tracer = current_tracer()
+    current_deadline().check("witness")
     with tracer.span("witness.reconstruct"):
         interp, classes = build_interpretation(encoded, assignment)
         uf_tables = {}

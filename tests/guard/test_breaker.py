@@ -1,0 +1,49 @@
+"""CircuitBreaker state machine: streaks, resets, one-shot opening."""
+
+import pytest
+
+from repro.guard import SHORT_CIRCUIT_PREFIX, CircuitBreaker
+
+
+class TestBreaker:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0)
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(3)
+        assert breaker.record("fam", True) is False
+        assert breaker.record("fam", True) is False
+        assert breaker.record("fam", True) is True  # the opening record
+        assert breaker.is_open("fam")
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(2)
+        breaker.record("fam", True)
+        breaker.record("fam", False)
+        assert breaker.record("fam", True) is False
+        assert not breaker.is_open("fam")
+
+    def test_families_are_independent(self):
+        breaker = CircuitBreaker(1)
+        breaker.record("a", True)
+        assert breaker.is_open("a")
+        assert not breaker.is_open("b")
+        assert breaker.open_families == ("a",)
+
+    def test_open_transition_reported_once(self):
+        breaker = CircuitBreaker(1)
+        assert breaker.record("fam", True) is True
+        # Further records on an open family never re-report the transition.
+        assert breaker.record("fam", True) is False
+        assert breaker.record("fam", False) is False
+        assert breaker.is_open("fam")
+
+    def test_threshold_one_opens_immediately(self):
+        breaker = CircuitBreaker(1)
+        assert breaker.record("fam", True) is True
+
+    def test_short_circuit_prefix_is_stable(self):
+        # The journal and the runner's skip logic both depend on this
+        # literal; changing it would misclassify old journals on resume.
+        assert SHORT_CIRCUIT_PREFIX == "circuit breaker open"

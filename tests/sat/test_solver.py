@@ -161,3 +161,37 @@ class TestReference:
         cnf = Cnf(num_vars=1)
         cnf.clauses.append(())
         assert solve_by_enumeration(cnf) is None
+
+
+class TestTimeBudgetOnPropagations:
+    """The time budget must bite on conflict-free work, not only every
+    256th conflict — a huge implication chain propagates millions of
+    literals without a single conflict."""
+
+    @staticmethod
+    def _chain_cnf(length):
+        # Unit clause 1 plus (i -> i+1) chain: the first propagate()
+        # cascades `length` implications and never conflicts.
+        cnf = Cnf(num_vars=length)
+        cnf.add_clause([1])
+        for i in range(1, length):
+            cnf.add_clause([-i, i + 1])
+        return cnf
+
+    def test_zero_time_budget_stops_a_conflict_free_cascade(self):
+        result = solve_cnf(self._chain_cnf(3000), max_seconds=0.0)
+        assert result.status == "unknown"
+        assert result.conflicts == 0
+
+    def test_cascade_completes_without_a_budget(self):
+        result = solve_cnf(self._chain_cnf(3000))
+        assert result.is_sat
+
+    def test_ambient_deadline_stops_the_cascade_with_stage(self):
+        from repro.errors import BudgetExhausted
+        from repro.guard import Deadline, use_deadline
+
+        with use_deadline(Deadline(max_wall_seconds=0.0)):
+            with pytest.raises(BudgetExhausted) as info:
+                solve_cnf(self._chain_cnf(3000))
+        assert info.value.stage == "sat"
