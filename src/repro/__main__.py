@@ -17,6 +17,12 @@ Lint mode (soundness analyzers; see :mod:`repro.analysis.cli`)::
     python -m repro lint
     python -m repro lint --grid 3x2 --json
 
+Staticcheck mode (self-hosting source-level invariant checkers; see
+:mod:`repro.staticcheck.cli`)::
+
+    python -m repro staticcheck src/repro --json
+    python -m repro staticcheck --baseline .staticcheck-baseline.json
+
 Observability (span traces and the perf-regression gate; see
 :mod:`repro.obs.cli`)::
 
@@ -169,6 +175,10 @@ def main(argv=None) -> int:
         from .analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "staticcheck":
+        from .staticcheck.cli import main as staticcheck_main
+
+        return staticcheck_main(argv[1:])
     if argv and argv[0] == "perf":
         from .obs.cli import perf_main
 

@@ -28,6 +28,7 @@ from .diagnostics import (
     INFO,
     SEVERITIES,
     WARNING,
+    AnalysisReport,
     Diagnostic,
     errors_in,
     max_severity,
@@ -43,7 +44,6 @@ from .dag_lint import (
     audit_propositional,
 )
 from .pipeline import (
-    AnalysisReport,
     analyze_config,
     analyze_encoding,
     build_report,

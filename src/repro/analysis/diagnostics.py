@@ -18,13 +18,14 @@ Severities follow the ``repro lint`` exit-code contract:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Sequence
 
 __all__ = [
     "ERROR",
     "WARNING",
     "INFO",
     "SEVERITIES",
+    "AnalysisReport",
     "Diagnostic",
     "errors_in",
     "max_severity",
@@ -119,3 +120,45 @@ def summarize(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
 def sort_report(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
     """Stable sort: errors first, then warnings, then info."""
     return sorted(diagnostics, key=lambda diag: _RANK[diag.severity])
+
+
+@dataclass
+class AnalysisReport:
+    """A set of findings plus the shared exit-code contract.
+
+    Both diagnostic CLIs — ``python -m repro lint`` and ``python -m
+    repro staticcheck`` — wrap their findings in this report, so they
+    emit one JSON schema (``max_severity`` / ``summary`` /
+    ``findings``) and exit non-zero exactly when error-level findings
+    are present.
+    """
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def extend(self, findings: Sequence[Diagnostic]) -> None:
+        self.diagnostics.extend(findings)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return errors_in(self.diagnostics)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.has_errors else 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        ordered = sort_report(self.diagnostics)
+        return {
+            "max_severity": max_severity(ordered),
+            "summary": summarize(ordered),
+            "findings": [diag.to_dict() for diag in ordered],
+        }
+
+    def render(self, title: str = "Soundness findings") -> str:
+        from ..core.reporting import render_diagnostics
+
+        return render_diagnostics(self.diagnostics, title=title)

@@ -17,7 +17,6 @@ Findings are :class:`~repro.analysis.diagnostics.Diagnostic` records; an
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..encode.evc import EncodedValidity, encode_validity
@@ -31,11 +30,8 @@ from .dag_lint import audit_hash_consing, audit_memory_free, audit_propositional
 from .diagnostics import (
     ERROR,
     INFO,
+    AnalysisReport,
     Diagnostic,
-    errors_in,
-    max_severity,
-    sort_report,
-    summarize,
 )
 from .polarity_check import audit_diversity, cross_check_polarity, derive_polarity
 from .rule_safety import RuleSpec, analyze_rules
@@ -48,41 +44,6 @@ __all__ = [
     "rewrite_tally_diagnostic",
     "build_report",
 ]
-
-
-@dataclass
-class AnalysisReport:
-    """A set of findings plus the ``repro lint`` exit-code contract."""
-
-    diagnostics: List[Diagnostic] = field(default_factory=list)
-
-    def extend(self, findings: Sequence[Diagnostic]) -> None:
-        self.diagnostics.extend(findings)
-
-    @property
-    def errors(self) -> List[Diagnostic]:
-        return errors_in(self.diagnostics)
-
-    @property
-    def has_errors(self) -> bool:
-        return bool(self.errors)
-
-    @property
-    def exit_code(self) -> int:
-        return 1 if self.has_errors else 0
-
-    def to_dict(self) -> Dict[str, Any]:
-        ordered = sort_report(self.diagnostics)
-        return {
-            "max_severity": max_severity(ordered),
-            "summary": summarize(ordered),
-            "findings": [diag.to_dict() for diag in ordered],
-        }
-
-    def render(self, title: str = "Soundness findings") -> str:
-        from ..core.reporting import render_diagnostics
-
-        return render_diagnostics(self.diagnostics, title=title)
 
 
 def analyze_encoding(encoded: EncodedValidity) -> List[Diagnostic]:

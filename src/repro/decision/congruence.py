@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..eufm.ast import BoolVar, Eq, Expr, Formula, Term, TermVar, UFApp, UPApp
+from ..guard.deadline import current_deadline
 
 __all__ = ["Env", "Inconsistent"]
 
@@ -89,8 +90,10 @@ class Env:
 
     def _propagate_congruence(self) -> None:
         """Merge UF applications with pairwise-congruent arguments."""
+        deadline = current_deadline()
         changed = True
         while changed:
+            deadline.tick("decision")
             changed = False
             signatures: Dict[Tuple, Term] = {}
             for app in self._universe:

@@ -179,9 +179,11 @@ def _push_all_reads(phi: Formula) -> Formula:
     # map_dag rebuilds bottom-up, so inner reads are already replaced by the
     # time the outer one is visited.  However `replace` receives the
     # *original* node; rebuild manually instead for full generality.
+    deadline = current_deadline()
     previous = None
     current = phi
     while previous is not current:
+        deadline.tick("encode.memory")
         previous = current
         current = map_dag(current, replace)
     return current

@@ -15,7 +15,7 @@ phase ``timings`` accumulated before the budget ran out).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 __all__ = [
     "ReproError",
@@ -137,9 +137,9 @@ class AnalysisError(ReproError):
             records that triggered the error (error-level findings first).
     """
 
-    def __init__(self, message: str, diagnostics=()) -> None:
+    def __init__(self, message: str, diagnostics: Iterable[Any] = ()) -> None:
         super().__init__(message)
-        self.diagnostics = list(diagnostics)
+        self.diagnostics: List[Any] = list(diagnostics)
 
 
 class WitnessError(ReproError):

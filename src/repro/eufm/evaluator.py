@@ -36,6 +36,7 @@ from .ast import (
     Write,
 )
 from .traversal import iter_dag
+from ..guard.deadline import current_deadline
 
 __all__ = ["Interpretation", "MemVal", "evaluate", "infer_memory_sorts", "SortError"]
 
@@ -182,10 +183,12 @@ def infer_memory_sorts(*roots: Expr) -> Set[Expr]:
     result used at value sort is fine — only value/memory conflicts at
     variables and applications are rejected during evaluation).
     """
+    deadline = current_deadline()
     memory: Set[Expr] = set()
     nodes = list(iter_dag(*roots))
     changed = True
     while changed:
+        deadline.tick("encode.memory")
         changed = False
         for node in nodes:
             if isinstance(node, Write):

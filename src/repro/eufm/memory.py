@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 
 from . import builder
 from .ast import Expr, Formula, Read, Term, TermITE, TermVar, Write, TRUE
+from ..guard.deadline import current_deadline
 
 __all__ = ["Update", "collect_updates", "apply_updates", "push_read", "chain_read"]
 
@@ -46,9 +47,11 @@ def collect_updates(mem: Term) -> Tuple[Term, List[Update]]:
     chain form (e.g. an ITE whose branches diverge in more than the top
     write).
     """
+    deadline = current_deadline()
     updates: List[Update] = []
     node = mem
     while True:
+        deadline.tick("encode.memory")
         if isinstance(node, Write):
             updates.append(Update(TRUE, node.addr, node.data))
             node = node.mem

@@ -39,6 +39,7 @@ from .ast import (
     Write,
 )
 from .traversal import iter_dag
+from ..guard.deadline import current_deadline
 
 __all__ = ["PolarityInfo", "classify", "POS", "NEG", "BOTH"]
 
@@ -104,8 +105,10 @@ def classify(phi: Formula) -> PolarityInfo:
     g_symbols = {node.symbol for node in g_terms if isinstance(node, UFApp)}
     # Symbol classification must be consistent: once a symbol is general,
     # every application of it is a general term.
+    deadline = current_deadline()
     changed = True
     while changed:
+        deadline.tick("encode.polarity")
         changed = False
         for node in nodes:
             if (
@@ -149,7 +152,9 @@ def _compute_polarity(phi: Formula) -> Dict[Expr, int]:
             old = polarity.get(node.cond, 0)
             polarity[node.cond] = old | BOTH
             worklist.append(node.cond)
+    deadline = current_deadline()
     while worklist:
+        deadline.tick("encode.polarity")
         node = worklist.pop()
         mask = polarity[node]
         for child, child_mask in _child_polarities(node, mask):
@@ -203,9 +208,11 @@ def _propagate_general_terms(
 
 def _propagate_down(nodes: List[Expr], g_terms: Set[Expr]) -> Set[Expr]:
     """Close ``g_terms`` downward through term-ITE branches."""
+    deadline = current_deadline()
     added: Set[Expr] = set()
     changed = True
     while changed:
+        deadline.tick("encode.polarity")
         changed = False
         for node in nodes:
             if isinstance(node, TermITE) and (node in g_terms or node in added):

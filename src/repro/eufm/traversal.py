@@ -27,6 +27,7 @@ from .ast import (
     Write,
 )
 from . import builder
+from ..guard.deadline import current_deadline
 
 __all__ = [
     "iter_dag",
@@ -52,12 +53,14 @@ def iter_dag(*roots: Expr) -> Iterator[Expr]:
     Children are always yielded before their parents, so a single pass can
     compute bottom-up attributes.
     """
+    deadline = current_deadline()
     seen: Set[Expr] = set()
     for root in roots:
         if root in seen:
             continue
         stack: List[Tuple[Expr, bool]] = [(root, False)]
         while stack:
+            deadline.tick("eufm")
             node, expanded = stack.pop()
             if expanded:
                 yield node

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import time
 from contextvars import ContextVar
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Union
 
 from ..errors import BudgetExhausted
 from .memory import MemoryBudget
@@ -268,10 +268,10 @@ class NullDeadline:
     def elapsed_cpu(self) -> float:
         return 0.0
 
-    def remaining_wall(self) -> None:
+    def remaining_wall(self) -> Optional[float]:
         return None
 
-    def remaining_cpu(self) -> None:
+    def remaining_cpu(self) -> Optional[float]:
         return None
 
     def derive(
@@ -292,12 +292,15 @@ class NullDeadline:
 
 NULL_DEADLINE = NullDeadline()
 
-_ACTIVE: ContextVar[object] = ContextVar(
+#: What the ambient slot holds: a real scope or the inert default.
+DeadlineLike = Union[Deadline, NullDeadline]
+
+_ACTIVE: ContextVar[DeadlineLike] = ContextVar(
     "repro_guard_deadline", default=NULL_DEADLINE
 )
 
 
-def current_deadline():
+def current_deadline() -> DeadlineLike:
     """The ambient deadline (a :class:`Deadline` or :data:`NULL_DEADLINE`)."""
     return _ACTIVE.get()
 
@@ -312,10 +315,10 @@ class use_deadline:
 
     __slots__ = ("_deadline", "_token")
 
-    def __init__(self, deadline) -> None:
+    def __init__(self, deadline: DeadlineLike) -> None:
         self._deadline = deadline
 
-    def __enter__(self):
+    def __enter__(self) -> DeadlineLike:
         memory = getattr(self._deadline, "memory", None)
         if memory is not None:
             memory.start()

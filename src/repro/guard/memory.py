@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import sys
 import tracemalloc
-from typing import Dict
+from typing import Any, Dict
 
 from ..errors import MemoryBudgetExhausted
 
@@ -86,7 +86,7 @@ class MemoryBudget:
         self._active_depth = 0
 
     @classmethod
-    def from_mb(cls, megabytes: float, **kwargs) -> "MemoryBudget":
+    def from_mb(cls, megabytes: float, **kwargs: Any) -> "MemoryBudget":
         return cls(int(megabytes * 1024 * 1024), **kwargs)
 
     # -- lifecycle -------------------------------------------------------

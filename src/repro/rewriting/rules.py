@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..errors import ReproError
 from ..eufm import builder
+from ..guard.deadline import current_deadline
 from ..eufm.ast import (
     FALSE,
     TRUE,
@@ -133,11 +134,13 @@ def reduce_under(
     for value in assumptions.values():
         if value is not TRUE and value is not FALSE:
             raise ValueError("assumptions must map variables to constants")
+    deadline = current_deadline()
     rebuilt: Dict[Expr, Expr] = {}
     order: List[Expr] = []
     seen: Set[Expr] = set()
     stack: List[Tuple[Expr, bool]] = [(expr, False)]
     while stack:
+        deadline.tick("rewrite")
         node, expanded = stack.pop()
         if expanded:
             order.append(node)
@@ -168,11 +171,13 @@ def substitute_opaque(root: Expr, mapping: Dict[Expr, Expr]) -> Expr:
     descend into the replaced sub-DAGs, so replacing a large preceding
     chain state costs only the size of the logic *above* it.
     """
+    deadline = current_deadline()
     rebuilt: Dict[Expr, Expr] = {}
     order: List[Expr] = []
     seen: Set[Expr] = set()
     stack: List[Tuple[Expr, bool]] = [(root, False)]
     while stack:
+        deadline.tick("rewrite")
         node, expanded = stack.pop()
         if expanded:
             order.append(node)
@@ -252,9 +257,11 @@ def prove_forwarding_matches_read(
     the producer has a result).  Raises :class:`RuleViolation` with the
     offending level otherwise.
     """
+    deadline = current_deadline()
     level = 0
     fwd, spec, avail = forwarded, spec_read, availability
     while True:
+        deadline.tick("rewrite")
         if fwd is spec:
             # Bottomed out at the same initial Register-File read (or the
             # chains collapsed early).

@@ -14,6 +14,7 @@ from typing import List, Tuple
 
 from ..eufm import builder
 from ..eufm.ast import Formula, Term, TermITE, TermVar, Write, TRUE
+from ..guard.deadline import current_deadline
 
 __all__ = ["ChainItem", "UpdateChain", "decompose_chain"]
 
@@ -55,9 +56,11 @@ def decompose_chain(mem: Term) -> UpdateChain:
 
     Raises :class:`ValueError` when ``mem`` is not in chain form.
     """
+    deadline = current_deadline()
     items_reversed: List[ChainItem] = []
     node = mem
     while True:
+        deadline.tick("rewrite")
         if isinstance(node, Write):
             items_reversed.append(
                 ChainItem(

@@ -69,9 +69,11 @@ _BOTH = _POS | _NEG
 
 def _gate_polarities(phi: Formula) -> Dict[Expr, int]:
     """Polarity masks of every formula node with respect to the root."""
+    deadline = current_deadline()
     polarity: Dict[Expr, int] = {phi: _POS}
     worklist = [phi]
     while worklist:
+        deadline.tick("encode.tseitin")
         node = worklist.pop()
         mask = polarity[node]
         children: Tuple[Tuple[Formula, int], ...]

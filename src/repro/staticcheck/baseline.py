@@ -1,0 +1,174 @@
+"""Committed baseline of reviewed, justified staticcheck exemptions.
+
+Some findings are deliberate: the chaos harness's fault seam *is*
+allowed to corrupt the journal, a reference loop may be intentionally
+unsupervised.  Those exemptions live in a committed JSON file — not in
+scattered ``# noqa`` comments — so each one carries a reviewable
+justification and CI can fail on anything new::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "fingerprint": "RS002.unpolled-loop@repro/sat/cnf.py:dedupe#0",
+          "code": "RS002",
+          "justification": "bounded by the clause list built one line up"
+        }
+      ]
+    }
+
+Fingerprints are ``check@file:qualname#occurrence`` — stable under line
+drift (no line numbers) and under edits elsewhere in the file; the
+occurrence index only disambiguates several identical findings inside
+one function.  A baseline entry that no longer matches any finding is
+*stale* and reported as a warning so the file shrinks as violations get
+fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.diagnostics import WARNING, Diagnostic
+from ..errors import ReproError
+from .engine import STAGE
+
+__all__ = ["Baseline", "apply_baseline", "fingerprint", "fingerprints"]
+
+_FORMAT_VERSION = 1
+
+
+def fingerprints(diagnostics: Sequence[Diagnostic]) -> List[str]:
+    """Stable fingerprint per finding, parallel to ``diagnostics``.
+
+    Occurrence indices count identical ``(check, file, qualname)``
+    findings in ``(line, col)`` order, so reordering the input does not
+    change anyone's fingerprint.
+    """
+    ordered = sorted(
+        range(len(diagnostics)),
+        key=lambda i: (diagnostics[i].data.get("line", 0),
+                       diagnostics[i].data.get("col", 0)),
+    )
+    counts: Dict[Tuple[str, str, str], int] = {}
+    result: List[str] = [""] * len(diagnostics)
+    for index in ordered:
+        diag = diagnostics[index]
+        key = (
+            diag.check,
+            str(diag.data.get("file", "")),
+            str(diag.data.get("qualname", "")),
+        )
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        result[index] = f"{key[0]}@{key[1]}:{key[2]}#{occurrence}"
+    return result
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    """Fingerprint of a single finding (occurrence 0)."""
+    return fingerprints([diagnostic])[0]
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file: fingerprint -> justification."""
+
+    entries: Dict[str, str] = field(default_factory=dict)
+    path: str = ""
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise ReproError(f"baseline file not found: {path!r}")
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"unreadable baseline {path!r}: {exc}")
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ReproError(
+                f"baseline {path!r} is not a {{version, entries}} object"
+            )
+        entries: Dict[str, str] = {}
+        for entry in payload["entries"]:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise ReproError(
+                    f"baseline {path!r}: every entry needs a 'fingerprint'"
+                )
+            entries[entry["fingerprint"]] = str(
+                entry.get("justification", "")
+            )
+        return cls(entries=entries, path=path)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {"fingerprint": fp,
+                 "code": fp.split(".", 1)[0],
+                 "justification": justification}
+                for fp, justification in sorted(self.entries.items())
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    @classmethod
+    def from_findings(
+        cls,
+        diagnostics: Sequence[Diagnostic],
+        previous: Optional["Baseline"] = None,
+        placeholder: str = "TODO: justify this exemption",
+    ) -> "Baseline":
+        """Baseline covering ``diagnostics``, keeping justifications the
+        previous baseline already recorded (``--update-baseline``)."""
+        keep = previous.entries if previous is not None else {}
+        entries = {
+            fp: keep.get(fp) or placeholder
+            for fp in fingerprints(list(diagnostics))
+        }
+        return cls(entries=entries)
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic],
+    baseline: Baseline,
+) -> Tuple[List[Diagnostic], List[Diagnostic], List[Diagnostic]]:
+    """Split findings against the baseline.
+
+    Returns ``(kept, suppressed, extra)`` where *kept* are findings the
+    baseline does not cover, *suppressed* are baselined findings, and
+    *extra* are warning diagnostics about stale baseline entries
+    (exemptions that no longer match anything — delete them).
+    """
+    diagnostics = list(diagnostics)
+    prints = fingerprints(diagnostics)
+    kept: List[Diagnostic] = []
+    suppressed: List[Diagnostic] = []
+    used = set()
+    for diag, fp in zip(diagnostics, prints):
+        if fp in baseline.entries:
+            used.add(fp)
+            suppressed.append(diag)
+        else:
+            kept.append(diag)
+    extra = [
+        Diagnostic(
+            severity=WARNING,
+            stage=STAGE,
+            check="RS000.stale-baseline-entry",
+            subject=fp,
+            message=(
+                "baseline entry matches no current finding; the "
+                "violation was fixed — delete the entry"
+            ),
+            data={"code": "RS000", "file": baseline.path, "line": 0,
+                  "col": 0, "qualname": "<baseline>", "fingerprint": fp},
+        )
+        for fp in sorted(set(baseline.entries) - used)
+    ]
+    return kept, suppressed, extra

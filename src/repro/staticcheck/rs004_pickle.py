@@ -1,0 +1,124 @@
+"""RS004 — worker payloads must be statically picklable.
+
+The parallel campaign (PR 4) fans jobs out over ``multiprocessing``;
+everything handed to the pool crosses a process boundary through
+pickle.  Pickle cannot serialize lambdas, closures, or classes/functions
+defined inside another function — and the failure is a runtime
+``PicklingError`` *inside the pool machinery*, long after the code that
+introduced it, often only on the parallel path that CI exercises least.
+
+The checker inspects every fan-out call site — ``apply_async``,
+``submit``, ``map``/``starmap``/``imap`` variants on a pool/executor
+receiver, and ``Process(target=...)`` constructions — and flags payload
+expressions that are statically unpicklable:
+
+* a ``lambda`` anywhere in the payload;
+* a reference to a function or class *defined inside another function*
+  in the same module (pickled by qualified name, which the child
+  process cannot resolve);
+* a local ``functools.partial`` over such a function.
+
+Module-level functions, classes and plain data are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from ..analysis.diagnostics import Diagnostic
+from .engine import CheckerSpec, SourceModule, receiver_text, register_checker
+
+__all__ = ["check_picklable_payloads"]
+
+#: attribute names that hand their arguments to another process.
+_FANOUT_ATTRS = frozenset({
+    "apply_async", "apply", "submit", "map", "map_async", "starmap",
+    "starmap_async", "imap", "imap_unordered",
+})
+
+#: receivers that make the generic names (``map``...) unambiguous.
+_FANOUT_RECEIVER_HINTS = ("pool", "executor")
+
+#: the rarer names are fan-outs on any receiver.
+_ALWAYS_FANOUT = frozenset({
+    "apply_async", "map_async", "starmap", "starmap_async", "imap",
+    "imap_unordered", "submit",
+})
+
+
+def _local_defs(module: SourceModule) -> Set[str]:
+    """Names of functions/classes defined inside another function."""
+    local: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        parent = module.parents.get(node)
+        while parent is not None:
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local.add(node.name)
+                break
+            parent = module.parents.get(parent)
+    return local
+
+
+def _is_fanout(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "Process":
+            return True
+        if func.attr not in _FANOUT_ATTRS:
+            return False
+        if func.attr in _ALWAYS_FANOUT:
+            return True
+        receiver = receiver_text(func.value).lower()
+        return any(hint in receiver for hint in _FANOUT_RECEIVER_HINTS)
+    if isinstance(func, ast.Name):
+        return func.id == "Process"
+    return False
+
+
+def _payload_exprs(node: ast.Call) -> Iterable[ast.AST]:
+    for arg in node.args:
+        yield arg
+    for keyword in node.keywords:
+        if keyword.value is not None:
+            yield keyword.value
+
+
+def check_picklable_payloads(module: SourceModule) -> List[Diagnostic]:
+    local_defs = _local_defs(module)
+    findings: List[Diagnostic] = []
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call) and _is_fanout(node)):
+            continue
+        for payload in _payload_exprs(node):
+            for sub in ast.walk(payload):
+                if isinstance(sub, ast.Lambda):
+                    findings.append(module.finding(
+                        "RS004", "lambda-payload", sub,
+                        "lambda in a multiprocessing payload cannot be "
+                        "pickled; lift it to a module-level function",
+                    ))
+                elif isinstance(sub, ast.Name) and sub.id in local_defs:
+                    findings.append(module.finding(
+                        "RS004", "local-def-payload", sub,
+                        f"{sub.id!r} is defined inside a function; pickle "
+                        "resolves it by qualified name, which the worker "
+                        "process cannot import — move it to module level",
+                        name=sub.id,
+                    ))
+    return findings
+
+
+register_checker(CheckerSpec(
+    code="RS004",
+    name="worker-payload-picklability",
+    description=(
+        "objects handed to the multiprocessing fan-out are statically "
+        "picklable: no lambdas, closures, or locally-defined classes"
+    ),
+    scope=frozenset({"campaign"}),
+    run_file=check_picklable_payloads,
+))

@@ -1,0 +1,146 @@
+"""RS005 — ambient ContextVar and span hygiene.
+
+Both ambient facilities — the observability tracer
+(:mod:`repro.obs.tracer`) and the supervision deadline
+(:mod:`repro.guard.deadline`) — install themselves via a ContextVar and
+restore the previous value on exit.  The restore is what makes nesting
+(campaign → worker → per-attempt ``verify()``) and the allocation-free
+Null ambient defaults work; a ``.set()`` whose token is dropped leaks
+the installed object into every later run in the same context — e.g. a
+worker's per-job tracer surviving into the next job and mis-attributing
+its metrics.
+
+Checks (all files):
+
+* ``discarded-token`` — a ``<ContextVar>.set(...)`` whose result is
+  thrown away (expression statement): the previous value can never be
+  restored;
+* ``set-without-reset`` — a captured token with no matching
+  ``.reset(...)`` on the same variable in the same function *or* the
+  same class (the ``__enter__``/``__exit__`` context-manager split is
+  the sanctioned pattern);
+* ``manual-enter`` — calling ``__enter__``/``__exit__`` explicitly on
+  anything: spans, deadlines and tracers are entered with ``with``.
+
+ContextVars are recognized by module-level ``X = ContextVar(...)``
+assignments in the scanned file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from ..analysis.diagnostics import Diagnostic
+from .engine import CheckerSpec, SourceModule, receiver_text, register_checker
+
+__all__ = ["check_contextvar_hygiene"]
+
+
+def _contextvar_names(module: SourceModule) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        func = value.func
+        called = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if called != "ContextVar":
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _enclosing(module: SourceModule, node: ast.AST) -> Tuple[
+        Optional[ast.AST], Optional[ast.AST]]:
+    """(enclosing function node, enclosing class node) of ``node``."""
+    function = None
+    klass = None
+    current = module.parents.get(node)
+    while current is not None:
+        if function is None and isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            function = current
+        if klass is None and isinstance(current, ast.ClassDef):
+            klass = current
+        current = module.parents.get(current)
+    return function, klass
+
+
+def check_contextvar_hygiene(module: SourceModule) -> List[Diagnostic]:
+    cv_names = _contextvar_names(module)
+    findings: List[Diagnostic] = []
+
+    # All .reset(...) sites on known ContextVars, keyed by receiver name,
+    # with their enclosing scopes.
+    resets: List[Tuple[str, Optional[ast.AST], Optional[ast.AST]]] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = receiver_text(node.func.value)
+            if node.func.attr == "reset" and receiver in cv_names:
+                fn, kl = _enclosing(module, node)
+                resets.append((receiver, fn, kl))
+
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        attr = node.func.attr
+        if attr in ("__enter__", "__exit__"):
+            findings.append(module.finding(
+                "RS005", "manual-enter", node,
+                f"explicit .{attr}() call; enter spans/deadlines/tracers "
+                "with a 'with' statement so the exit path is guaranteed",
+            ))
+            continue
+        if attr != "set":
+            continue
+        receiver = receiver_text(node.func.value)
+        if receiver not in cv_names:
+            continue
+        parent = module.parents.get(node)
+        if isinstance(parent, ast.Expr):
+            findings.append(module.finding(
+                "RS005", "discarded-token", node,
+                f"{receiver}.set(...) discards its token; the previous "
+                "ambient value can never be restored — keep the token and "
+                "reset() it, or use the context-manager wrapper",
+                contextvar=receiver,
+            ))
+            continue
+        fn, kl = _enclosing(module, node)
+        paired = any(
+            name == receiver and (
+                (fn is not None and reset_fn is fn)
+                or (kl is not None and reset_kl is kl)
+            )
+            for name, reset_fn, reset_kl in resets
+        )
+        if not paired:
+            findings.append(module.finding(
+                "RS005", "set-without-reset", node,
+                f"{receiver}.set(...) has no matching {receiver}.reset() "
+                "in the same function or class; ambient state leaks past "
+                "this scope",
+                contextvar=receiver,
+            ))
+    return findings
+
+
+register_checker(CheckerSpec(
+    code="RS005",
+    name="contextvar-hygiene",
+    description=(
+        "ambient ContextVars (tracer, deadline) are entered via context "
+        "managers; manual set() keeps its token and is paired with reset()"
+    ),
+    scope=None,
+    run_file=check_contextvar_hygiene,
+))

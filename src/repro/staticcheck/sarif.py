@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 export of staticcheck findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest; CI uploads the report as an artifact so findings annotate
+pull requests.  The mapping is direct: one ``run`` for the tool, one
+``reportingDescriptor`` per registered checker, one ``result`` per
+:class:`~repro.analysis.diagnostics.Diagnostic` with a physical
+location taken from the finding's ``file``/``line``/``col`` payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from ..analysis.diagnostics import ERROR, WARNING, Diagnostic
+from .engine import all_checkers
+
+__all__ = ["to_sarif"]
+
+_SARIF_LEVELS = {ERROR: "error", WARNING: "warning"}
+
+
+def _rules() -> List[Dict[str, Any]]:
+    return [
+        {
+            "id": spec.code,
+            "name": spec.name,
+            "shortDescription": {"text": spec.description},
+        }
+        for spec in all_checkers()
+    ]
+
+
+def to_sarif(
+    diagnostics: Sequence[Diagnostic],
+    tool_version: str = "1.0.0",
+) -> Dict[str, Any]:
+    """The findings as a SARIF 2.1.0 log object (JSON-serializable)."""
+    results: List[Dict[str, Any]] = []
+    for diag in diagnostics:
+        line = int(diag.data.get("line", 0) or 0)
+        result: Dict[str, Any] = {
+            "ruleId": str(diag.data.get("code", diag.check.split(".")[0])),
+            "level": _SARIF_LEVELS.get(diag.severity, "note"),
+            "message": {"text": diag.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": str(diag.data.get("file", "")),
+                    },
+                    "region": {
+                        "startLine": max(1, line),
+                        "startColumn": int(diag.data.get("col", 0) or 0) + 1,
+                    },
+                },
+            }],
+            "properties": {
+                "check": diag.check,
+                "qualname": diag.data.get("qualname", ""),
+            },
+        }
+        results.append(result)
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-staticcheck",
+                    "informationUri": "https://example.invalid/repro",
+                    "version": tool_version,
+                    "rules": _rules(),
+                },
+            },
+            "results": results,
+        }],
+    }

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..errors import WitnessError
+from ..guard.deadline import current_deadline
 from ..sat.cnf import Cnf
 
 __all__ = ["DrupStep", "DrupProof", "DrupCheckResult", "check_drup"]
@@ -199,7 +200,9 @@ class _ClauseDb:
         for lit in self._units.values():
             if not assign(lit):
                 return True
+        deadline = current_deadline()
         while pending:
+            deadline.tick("witness")
             lit = pending.popleft()
             for cid in tuple(self._occ.get(-lit, ())):
                 clause = self._clauses.get(cid)

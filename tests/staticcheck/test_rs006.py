@@ -1,0 +1,164 @@
+"""RS006 — rule-registry confluence and termination analysis.
+
+The known-good fixture is the real registry: every critical pair must
+join (syntactically or semantically) and no rule may diverge.  The
+known-bad fixture registers a deliberately unsound forwarding rule —
+``read(write(m, a, d), b) -> d`` without the ``a = b`` case split — whose
+overlap with itself produces reducts that differ under a concrete
+interpretation.
+"""
+
+from repro.analysis.rule_safety import REGISTRY, RuleInstance, RuleSpec
+from repro.eufm import builder
+from repro.staticcheck.rs006_rules import (
+    analyze_registry,
+    critical_pairs,
+    rule_measure,
+    unify,
+)
+
+
+def _by_check(diagnostics):
+    grouped = {}
+    for diag in diagnostics:
+        grouped.setdefault(diag.check, []).append(diag)
+    return grouped
+
+
+def _unsound_forwarding() -> RuleInstance:
+    mem = builder.tvar("bad!m")
+    addr_w = builder.tvar("bad!a")
+    addr_r = builder.tvar("bad!b")
+    data = builder.tvar("bad!d")
+    lhs = builder.read(builder.write(mem, addr_w, data), addr_r)
+    return RuleInstance(
+        lhs=lhs,
+        rhs=data,  # wrong unless addr_w == addr_r
+        pattern_vars=("bad!m", "bad!a", "bad!b", "bad!d"),
+    )
+
+
+class TestRealRegistry:
+    def test_registry_has_no_divergent_critical_pairs(self):
+        grouped = _by_check(analyze_registry())
+        assert "RS006.critical-pair-divergent" not in grouped
+        assert "RS006.builder-failed" not in grouped
+        summary = grouped["RS006.registry-summary"][0]
+        assert summary.data["pairs"] >= 1
+        assert summary.data["pairs"] == (
+            summary.data["syntactic"] + summary.data["semantic"]
+        )
+        assert len(summary.data["rules"]) == len(REGISTRY)
+
+    def test_registry_termination_obligations_all_discharged(self):
+        grouped = _by_check(analyze_registry())
+        assert "RS006.measure-not-decreasing" not in grouped
+        accounted = (
+            len(grouped.get("RS006.measure-decreases", []))
+            + len(grouped.get("RS006.permutative-rule", []))
+            + len(grouped.get("RS006.identity-rule", []))
+        )
+        assert accounted == len(REGISTRY)
+
+
+def _correct_forwarding() -> RuleInstance:
+    mem = builder.tvar("good!m")
+    addr_w = builder.tvar("good!a")
+    addr_r = builder.tvar("good!b")
+    data = builder.tvar("good!d")
+    lhs = builder.read(builder.write(mem, addr_w, data), addr_r)
+    rhs = builder.ite_term(
+        builder.eq(addr_w, addr_r), data, builder.read(mem, addr_r)
+    )
+    return RuleInstance(
+        lhs=lhs,
+        rhs=rhs,
+        pattern_vars=("good!m", "good!a", "good!b", "good!d"),
+    )
+
+
+class TestUnsoundRule:
+    def test_unsound_forwarding_rule_diverges(self):
+        # The unsound rule overlaps the correct forwarding rule at the
+        # root: one reduct is `d`, the other the proper address case
+        # split — they differ whenever the addresses differ.
+        specs = [
+            RuleSpec(
+                name="bad-forwarding",
+                description="read-over-write without the address case split",
+                build=_unsound_forwarding,
+            ),
+            RuleSpec(
+                name="correct-forwarding",
+                description="the paper's forwarding rule",
+                build=_correct_forwarding,
+            ),
+        ]
+        grouped = _by_check(analyze_registry(specs))
+        divergent = grouped.get("RS006.critical-pair-divergent", [])
+        assert divergent, "the unsound rule must produce a divergent pair"
+        assert divergent[0].severity == "error"
+        # The finding carries a concrete witness interpretation.
+        assert divergent[0].data["witness"]
+
+    def test_builder_failure_is_an_error_finding(self):
+        def boom() -> RuleInstance:
+            raise ValueError("no instance today")
+
+        specs = [RuleSpec(name="broken", description="", build=boom)]
+        grouped = _by_check(analyze_registry(specs))
+        assert "RS006.builder-failed" in grouped
+
+
+class TestPrimitives:
+    def test_unify_binds_pattern_vars_and_rejects_mismatches(self):
+        m = builder.tvar("p!m")
+        a = builder.tvar("p!a")
+        d = builder.tvar("p!d")
+        pattern = builder.write(m, a, d)
+        concrete = builder.write(
+            builder.tvar("state"), builder.uf("pc", ()), builder.tvar("v")
+        )
+        names = frozenset({"p!m", "p!a", "p!d"})
+        subst = unify(pattern, concrete, names)
+        assert subst is not None
+        assert subst[m] is concrete.mem
+        assert unify(pattern, builder.tvar("state"), names) is None
+
+    def test_rule_measure_counts_redexes_then_size(self):
+        mem = builder.tvar("m")
+        addr = builder.tvar("a")
+        other = builder.tvar("b")  # same-address reads fold in the builder
+        data = builder.tvar("d")
+        redex = builder.read(builder.write(mem, addr, data), other)
+        plain = builder.read(mem, addr)
+        r_redex, size_redex = rule_measure(redex)
+        r_plain, size_plain = rule_measure(plain)
+        assert r_redex == 1 and r_plain == 0
+        assert size_redex > size_plain
+        assert rule_measure(data) < rule_measure(plain)
+
+    def test_critical_pairs_finds_the_self_overlap(self):
+        instance = _unsound_forwarding()
+        pairs = critical_pairs(instance, instance, self_pair=True)
+        # The unsound rule's LHS contains no non-root, non-pattern-var
+        # subterm matching its own LHS except through the write; the
+        # overlap set may be empty for the self pair, but pairing it with
+        # a chain-shaped rule must produce at least one overlap.
+        chained = RuleInstance(
+            lhs=builder.read(
+                builder.write(
+                    builder.write(builder.tvar("c!m"), builder.tvar("c!x"),
+                                  builder.tvar("c!e")),
+                    builder.tvar("c!a"), builder.tvar("c!d")),
+                builder.tvar("c!b"),
+            ),
+            rhs=builder.tvar("c!d"),
+            pattern_vars=("c!m", "c!x", "c!e", "c!a", "c!b", "c!d"),
+        )
+        overlaps = critical_pairs(chained, instance, self_pair=False)
+        assert pairs == [] or all("overlap" in p for p in pairs)
+        assert overlaps
+        for pair in overlaps:
+            assert {"position", "overlap", "reduct_outer",
+                    "reduct_inner"} <= set(pair)
