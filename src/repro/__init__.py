@@ -16,11 +16,14 @@ Public API highlights:
 * :mod:`repro.sat` — the CDCL SAT solver.
 * :mod:`repro.campaign` — crash-safe batched verification campaigns with
   retries, budget escalation and graceful degradation.
+* :mod:`repro.service` — the long-lived verification-as-a-service job
+  server (``python -m repro serve``) with a content-addressed result
+  cache and persistent witness-artifact store.
 * :mod:`repro.errors` — the structured exception taxonomy
   (:class:`~repro.errors.ReproError` and friends).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .core import VerificationResult, verify
 from .errors import (

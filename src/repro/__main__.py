@@ -37,6 +37,15 @@ Witness mode (DRUP proof certification and counterexample replay; see
     python -m repro witness explain --rob 4 --width 2 --bug pc-single-increment
     python -m repro witness check --cnf formula.cnf --proof p.drup
 
+Service mode (the long-lived verification-as-a-service job server; see
+:mod:`repro.service.cli`)::
+
+    python -m repro serve --port 8080 --data-dir ./repro-service
+
+Version (package + rule-registry provenance, one line each)::
+
+    python -m repro --version
+
 Exit status of a single run: 0 — the design was proved correct; 1 — a bug
 was found; 2 — the SAT budget was exhausted before a verdict; 3 — another
 structured verification error (including strict-mode soundness findings).
@@ -164,9 +173,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def print_version() -> int:
+    """``--version``: package + rule-registry provenance.
+
+    Both lines identify cache provenance: two servers with equal output
+    here produce interchangeable verdicts for equal requests (the
+    service's cache keys fold the registry version in).
+    """
+    from . import __version__
+    from .rewriting.version import registry_version
+
+    print(f"repro {__version__}")
+    print(f"rule-registry {registry_version()}")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] in ("--version", "version"):
+        return print_version()
+    if argv and argv[0] == "serve":
+        from .service.cli import main as serve_main
+
+        return serve_main(argv[1:])
     if argv and argv[0] == "campaign":
         from .campaign.cli import main as campaign_main
 

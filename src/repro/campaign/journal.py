@@ -44,7 +44,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import JournalError
 
-__all__ = ["Journal", "JournalReplay"]
+__all__ = ["Journal", "JournalReplay", "JournalTailer"]
 
 
 def _canonical(data: Dict[str, Any]) -> str:
@@ -208,3 +208,90 @@ class JournalReplay:
             if job_id and job_id not in finished:
                 open_jobs[job_id] = rec
         return open_jobs
+
+
+class JournalTailer:
+    """Incremental journal reader safe to run *while the writer appends*.
+
+    :meth:`Journal.load` is replay-time machinery: it reads the whole
+    file once, after the writer is gone, and classifies a bad final line
+    as the crash's torn tail.  A live reader has a harder problem — the
+    single writer appends ``line + "\\n"`` and then flushes, so a reader
+    polling mid-append can observe a *prefix* of the final line (no
+    newline yet, or a newline-terminated line whose CRC does not check
+    out on a filesystem that exposes partial writes).  That torn tail is
+    transient: the very next poll (after the writer's flush completes)
+    sees the full line.
+
+    The tailer therefore never consumes the tail until it is provably
+    complete:
+
+    * only newline-terminated lines are even considered — a trailing
+      fragment stays in the file (the offset does not advance past it);
+    * a *final* newline-terminated line that fails CRC/decode is held
+      back too, and re-read on the next poll, because it may still be
+      mid-flush; it is surfaced only once a *later* line supersedes it
+      (at which point it is genuine corruption, counted in
+      :attr:`corrupt_lines` like replay does);
+    * mid-file garbage (a previous crash's torn tail that the writer has
+      since appended past) is skipped and counted, never returned.
+
+    Use one tailer per reader; it keeps a private byte offset.  Polling
+    is cheap (one ``seek`` + incremental read), so status endpoints can
+    poll at sub-second intervals.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._offset = 0
+        #: decoded-and-rejected lines that were superseded by later
+        #: records (mid-file corruption; never the live tail).
+        self.corrupt_lines = 0
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Every record durably appended since the last poll.
+
+        Returns an empty list when the journal does not exist yet, has
+        not grown, or has grown only by an incomplete tail.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except FileNotFoundError:
+            return []
+        if not chunk:
+            return []
+        # Consume only up to the last newline: anything after it is a
+        # fragment the writer is still flushing.
+        cut = chunk.rfind(b"\n")
+        if cut < 0:
+            return []
+        raw_lines = chunk[: cut + 1].split(b"\n")[:-1]
+        records: List[Dict[str, Any]] = []
+        consumed = 0       # bytes of validated territory to advance past
+        held_bytes = 0     # bytes of trailing bad lines held back
+        pending_bad = 0    # bad lines not yet superseded by a later one
+        for raw in raw_lines:
+            nbytes = len(raw) + 1
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                consumed += held_bytes + nbytes
+                self.corrupt_lines += pending_bad
+                held_bytes = pending_bad = 0
+                continue
+            data = _decode_line(line)
+            if data is None:
+                # Maybe mid-flush: hold back unless a later line exists.
+                pending_bad += 1
+                held_bytes += nbytes
+                continue
+            self.corrupt_lines += pending_bad
+            pending_bad = 0
+            records.append(data)
+            consumed += held_bytes + nbytes
+            held_bytes = 0
+        # The offset advances only past fully-validated territory; held
+        # back bad tail lines are re-read (and re-validated) next poll.
+        self._offset += consumed
+        return records

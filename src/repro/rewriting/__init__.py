@@ -17,8 +17,11 @@ from .rules import (
     split_on_guard,
 )
 from .updates import ChainItem, UpdateChain, decompose_chain
+from .version import registry_fingerprint, registry_version
 
 __all__ = [
+    "registry_fingerprint",
+    "registry_version",
     "RewriteFailure",
     "RewriteResult",
     "rewrite_diagram",

@@ -1,0 +1,176 @@
+"""``python -m repro serve`` — run the verification service.
+
+Examples::
+
+    python -m repro serve --data-dir ./service-data
+    python -m repro serve --port 8080 --max-running 2 --session-workers 2
+    python -m repro serve --queue-limit 4 --breaker 3 --deadline 30
+
+The server prints one ``ready`` line with the bound address once it is
+accepting requests (port 0 picks a free port — the line is how scripts
+learn which).  State lives entirely under ``--data-dir``; killing the
+server (even ``kill -9``) and restarting it with the same directory
+re-attaches every session: finished jobs are replayed from the
+journals, in-flight jobs resume, and the result cache keeps serving.
+
+A quick round-trip with curl::
+
+    curl -s localhost:8080/version
+    curl -s -X POST localhost:8080/v1/sessions \\
+        -d '{"grid": "4x2,8x2", "certify": true}'
+    curl -s localhost:8080/v1/sessions/<id>?wait=10
+    curl -s localhost:8080/v1/sessions/<id>/result
+    curl -s localhost:8080/v1/artifacts/<digest>
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import List, Optional
+
+from ..campaign.runner import DegradePolicy, RetryPolicy
+from .app import ServiceApp
+from .sessions import SessionManager
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Long-lived verification service: HTTP/JSON job submission, "
+            "a content-addressed result cache, journal-backed sessions "
+            "that survive kill -9, and explicit backpressure."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default localhost)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port; 0 picks a free one (default 8080)",
+    )
+    parser.add_argument(
+        "--data-dir", default="./repro-service", metavar="DIR",
+        help="service state root: cache/, artifacts/, sessions/ "
+        "(default ./repro-service)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=16, metavar="N",
+        help="max sessions admitted but not finished; beyond it submits "
+        "get 429 + Retry-After (default 16)",
+    )
+    parser.add_argument(
+        "--max-running", type=int, default=1, metavar="N",
+        help="sessions running concurrently (default 1)",
+    )
+    parser.add_argument(
+        "--session-workers", type=int, default=1, metavar="N",
+        help="campaign worker processes per session (default 1)",
+    )
+    parser.add_argument(
+        "--breaker", type=int, default=None, metavar="K",
+        help="short-circuit a config family after K consecutive "
+        "INCONCLUSIVE outcomes, service-wide (default: off)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="A",
+        help="verification attempts per method per job (default 3)",
+    )
+    parser.add_argument(
+        "--escalation", type=float, default=2.0, metavar="F",
+        help="budget multiplier between attempts (default 2.0)",
+    )
+    parser.add_argument(
+        "--max-conflicts", type=int, default=None, metavar="N",
+        help="default base SAT conflict budget per attempt",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="default base pipeline-wide deadline per attempt, seconds",
+    )
+    parser.add_argument(
+        "--max-memory", type=float, default=None, metavar="MB",
+        help="default base memory budget per attempt, MiB",
+    )
+    parser.add_argument(
+        "--no-degrade", action="store_true",
+        help="go straight to INCONCLUSIVE instead of falling back to "
+        "positive_equality",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    return parser
+
+
+async def _serve(app: ServiceApp, host: str, port: int,
+                 log) -> None:
+    bound_host, bound_port = await app.start(host, port)
+    print(f"ready http://{bound_host}:{bound_port}", flush=True)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signame in ("SIGINT", "SIGTERM"):
+        try:
+            loop.add_signal_handler(
+                getattr(signal, signame), stop.set
+            )
+        except (NotImplementedError, OSError):  # pragma: no cover
+            pass
+    serve_task = asyncio.ensure_future(app.serve_forever())
+    stop_task = asyncio.ensure_future(stop.wait())
+    try:
+        await asyncio.wait(
+            {serve_task, stop_task},
+            return_when=asyncio.FIRST_COMPLETED,
+        )
+    finally:
+        serve_task.cancel()
+        stop_task.cancel()
+        log("shutting down")
+        await app.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    log = (lambda message: None) if args.quiet else (
+        lambda message: print(message, flush=True)
+    )
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts,
+        escalation=args.escalation,
+        base_conflicts=args.max_conflicts
+        if args.max_conflicts is not None
+        else RetryPolicy.base_conflicts,
+        base_wall_seconds=args.deadline,
+        base_memory_mb=args.max_memory,
+    )
+    manager = SessionManager(
+        args.data_dir,
+        queue_limit=args.queue_limit,
+        max_running=args.max_running,
+        session_workers=args.session_workers,
+        breaker_threshold=args.breaker,
+        retry=retry,
+        degrade=DegradePolicy(
+            fallback_method=None if args.no_degrade else "positive_equality"
+        ),
+        log=log,
+    )
+    requeued = manager.reattach()
+    if requeued:
+        log(f"re-attached {len(requeued)} unfinished session(s)")
+    app = ServiceApp(manager)
+    try:
+        asyncio.run(_serve(app, args.host, args.port, log))
+    except KeyboardInterrupt:  # pragma: no cover - signal path
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

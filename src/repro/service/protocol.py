@@ -1,0 +1,246 @@
+"""Request/response vocabulary of the verification service.
+
+A *submit request* is a JSON document describing a batch of
+verification jobs — either an explicit ``configs`` list or a ``grid``
+string (the campaign CLI's ``NxK,...`` shorthand), plus shared
+method/criterion/bug options, certification and analysis switches, and
+optional per-attempt base budgets.  :meth:`SubmitRequest.parse`
+validates it into campaign :class:`~repro.campaign.jobs.Job` objects;
+:func:`job_options` distills the verdict-relevant options of one job
+into the mapping :func:`repro.core.keys.canonical_key` hashes for the
+result cache.
+
+Budgets are deliberately *not* part of :func:`job_options`: they bound
+the search, not the verdict, and the cache only ever stores definitive
+outcomes (see :mod:`repro.service.cache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..campaign.jobs import Job
+from ..errors import CampaignError
+from ..processor.bugs import BugKind
+
+__all__ = ["ServiceError", "SubmitRequest", "job_options", "parse_grid"]
+
+#: Hard ceiling on jobs per submit: a single request cannot smuggle in
+#: an unbounded campaign; callers split larger sweeps across sessions.
+MAX_JOBS_PER_REQUEST = 256
+
+_METHODS = ("rewriting", "positive_equality")
+_CRITERIA = ("disjunction", "case_split")
+_BUDGET_FIELDS = (
+    "max_conflicts", "max_seconds", "max_wall_seconds", "max_memory_mb",
+)
+
+
+class ServiceError(CampaignError):
+    """A request the service refuses; carries the HTTP status to answer.
+
+    ``retry_after`` is set on backpressure refusals (429) so the
+    transport layer can emit a ``Retry-After`` header.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+def parse_grid(grid: str) -> List[Tuple[int, int]]:
+    """Parse the campaign CLI's ``N1xK1,N2xK2,...`` grid shorthand."""
+    from ..campaign.cli import _parse_grid
+
+    return _parse_grid(grid)
+
+
+def job_options(job: Job, certify: bool, analyze: bool) -> Dict[str, Any]:
+    """The verdict-relevant options of one job, for cache keying.
+
+    Everything that changes the verdict or its recorded evidence is
+    here — method, criterion, the planted bug, and the certify/analyze
+    switches (they decide whether diagnostics and witness artifacts
+    exist in the cached record).  Budgets are excluded by design.
+    """
+    return {
+        "method": job.method,
+        "criterion": job.criterion,
+        "bug_kind": job.bug_kind,
+        "bug_entry": job.bug_entry if job.bug_kind is not None else None,
+        "bug_operand": job.bug_operand if job.bug_kind is not None else None,
+        "certify": certify or None,
+        "analyze": analyze or None,
+    }
+
+
+@dataclass
+class SubmitRequest:
+    """One validated submit request: jobs plus shared run options."""
+
+    jobs: List[Job]
+    certify: bool = False
+    analyze: bool = False
+    #: free-form client label, echoed in session records (provenance).
+    client: str = ""
+    #: raw budget fields forwarded to the jobs (already applied).
+    budgets: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, payload: Any) -> "SubmitRequest":
+        """Validate a decoded JSON body; raises :class:`ServiceError`."""
+        if not isinstance(payload, Mapping):
+            raise ServiceError(400, "request body must be a JSON object")
+        unknown = set(payload) - {
+            "configs", "grid", "method", "criterion", "bug",
+            "certify", "analyze", "client", "budgets",
+        }
+        if unknown:
+            raise ServiceError(
+                400, f"unknown request field(s): {sorted(unknown)}"
+            )
+        method = payload.get("method", "rewriting")
+        if method not in _METHODS:
+            raise ServiceError(
+                400, f"unknown method {method!r}; use one of {_METHODS}"
+            )
+        criterion = payload.get("criterion", "disjunction")
+        if criterion not in _CRITERIA:
+            raise ServiceError(
+                400,
+                f"unknown criterion {criterion!r}; use one of {_CRITERIA}",
+            )
+        bug = payload.get("bug")
+        bug_fields: Dict[str, Any] = {}
+        if bug is not None:
+            if not isinstance(bug, Mapping) or "kind" not in bug:
+                raise ServiceError(
+                    400, "bug must be an object with a 'kind' field"
+                )
+            if bug["kind"] not in BugKind.ALL:
+                raise ServiceError(
+                    400,
+                    f"unknown bug kind {bug['kind']!r}; "
+                    f"use one of {BugKind.ALL}",
+                )
+            bug_fields = {
+                "bug_kind": bug["kind"],
+                "bug_entry": int(bug.get("entry", 1)),
+                "bug_operand": int(bug.get("operand", 1)),
+            }
+        budgets_in = payload.get("budgets") or {}
+        if not isinstance(budgets_in, Mapping):
+            raise ServiceError(400, "budgets must be a JSON object")
+        bad_budget = set(budgets_in) - set(_BUDGET_FIELDS)
+        if bad_budget:
+            raise ServiceError(
+                400,
+                f"unknown budget field(s): {sorted(bad_budget)}; "
+                f"use {_BUDGET_FIELDS}",
+            )
+        budgets = {
+            name: budgets_in[name]
+            for name in _BUDGET_FIELDS
+            if budgets_in.get(name) is not None
+        }
+
+        configs: List[Dict[str, Any]] = []
+        raw_configs = payload.get("configs")
+        if raw_configs is not None:
+            if not isinstance(raw_configs, list):
+                raise ServiceError(400, "configs must be a JSON list")
+            for item in raw_configs:
+                if not isinstance(item, Mapping) or "n_rob" not in item \
+                        or "issue_width" not in item:
+                    raise ServiceError(
+                        400,
+                        "each config needs n_rob and issue_width "
+                        "(optionally retire_width)",
+                    )
+                configs.append({
+                    "n_rob": int(item["n_rob"]),
+                    "issue_width": int(item["issue_width"]),
+                    "retire_width": item.get("retire_width"),
+                })
+        grid = payload.get("grid")
+        if grid is not None:
+            if not isinstance(grid, str):
+                raise ServiceError(400, "grid must be a string like '4x2,8x2'")
+            try:
+                for n_rob, width in parse_grid(grid):
+                    configs.append({"n_rob": n_rob, "issue_width": width,
+                                    "retire_width": None})
+            except CampaignError as exc:
+                raise ServiceError(400, str(exc))
+        if not configs:
+            raise ServiceError(
+                400, "request names no work: provide configs and/or grid"
+            )
+        if len(configs) > MAX_JOBS_PER_REQUEST:
+            raise ServiceError(
+                400,
+                f"request names {len(configs)} jobs; the per-request "
+                f"ceiling is {MAX_JOBS_PER_REQUEST}",
+            )
+
+        jobs: List[Job] = []
+        seen_ids: Dict[str, int] = {}
+        for spec in configs:
+            try:
+                job = Job.build(
+                    spec["n_rob"],
+                    spec["issue_width"],
+                    retire_width=spec["retire_width"],
+                    method=method,
+                    criterion=criterion,
+                    **bug_fields,
+                    **budgets,
+                )
+                # Job.build defers configuration validation to run time
+                # (campaign semantics: a bad config lands INCONCLUSIVE);
+                # the service rejects it up front instead of admitting a
+                # job that can only fail.
+                job.config()
+            except (CampaignError, ValueError) as exc:
+                raise ServiceError(400, f"bad configuration {spec}: {exc}")
+            # Duplicate configurations in one request keep distinct job
+            # ids (the journal requires uniqueness); the session dedupes
+            # them by cache key before any work runs.
+            count = seen_ids.get(job.job_id, 0)
+            seen_ids[job.job_id] = count + 1
+            if count:
+                job = Job.from_dict(
+                    {**job.to_dict(), "job_id": f"{job.job_id}~{count + 1}"}
+                )
+            jobs.append(job)
+        return cls(
+            jobs=jobs,
+            certify=bool(payload.get("certify", False)),
+            analyze=bool(payload.get("analyze", False)),
+            client=str(payload.get("client", "")),
+            budgets=budgets,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Durable form written to the session directory (restart food)."""
+        return {
+            "jobs": [job.to_dict() for job in self.jobs],
+            "certify": self.certify,
+            "analyze": self.analyze,
+            "client": self.client,
+            "budgets": self.budgets,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SubmitRequest":
+        return cls(
+            jobs=[Job.from_dict(spec) for spec in data.get("jobs", [])],
+            certify=bool(data.get("certify", False)),
+            analyze=bool(data.get("analyze", False)),
+            client=str(data.get("client", "")),
+            budgets=dict(data.get("budgets", {})),
+        )

@@ -136,6 +136,6 @@ register_checker(CheckerSpec(
         "ambient Deadline on some path through its body"
     ),
     scope=frozenset({"tlsim", "rewriting", "encode", "sat", "witness",
-                     "eufm", "decision"}),
+                     "eufm", "decision", "service"}),
     run_file=check_deadline_polls,
 ))

@@ -87,6 +87,60 @@ class Witness:
         payload = f"{self.kind}:{self.detail}"
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
+    @property
+    def artifact_media_type(self) -> str:
+        """MIME type of :meth:`artifact_bytes`."""
+        if self.kind == "unsat-proof" and self.proof is not None:
+            return "text/x-drup"
+        return "application/json"
+
+    def artifact_bytes(self) -> bytes:
+        """The full witness evidence as a self-contained artifact.
+
+        For UNSAT verdicts this is the DRUP proof text exactly as the
+        solver logged it (re-checkable with ``python -m repro witness
+        check``); for counterexamples, a canonical JSON document holding
+        the minimized assignment, equivalence classes, synthesized
+        function tables, and the replay verdicts; for the two structural
+        kinds, a small JSON record of the argument.  Serialization is
+        canonical (sorted keys), so equal evidence yields equal bytes —
+        the artifact store (:mod:`repro.service.store`) relies on that
+        to address artifacts by content digest.
+        """
+        if self.proof is not None:
+            return self.proof.to_text().encode("utf-8")
+        if self.counterexample is not None:
+            cex = self.counterexample
+            payload: Dict[str, Any] = {
+                "kind": self.kind,
+                "validated": self.validated,
+                "raw_assignment": cex.raw_assignment,
+                "minimized": cex.minimized,
+                "classes": cex.classes,
+                "term_values": cex.term_values,
+                "bool_values": cex.bool_values,
+                "uf_tables": {
+                    sym: [[list(args), value] for args, value in rows]
+                    for sym, rows in cex.uf_tables.items()
+                },
+                "up_tables": {
+                    sym: [[list(args), value] for args, value in rows]
+                    for sym, rows in cex.up_tables.items()
+                },
+                "domain_size": cex.domain_size,
+                "replay_value": cex.replay_value,
+                "minimized_replay_value": cex.minimized_replay_value,
+                "memory_mode": cex.memory_mode,
+                "disagreements": cex.disagreements,
+            }
+            return json.dumps(payload, sort_keys=True).encode("utf-8")
+        payload = {
+            "kind": self.kind,
+            "validated": self.validated,
+            "detail": self.detail,
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
     def summary_dict(self) -> Dict[str, Any]:
         """Compact journal-safe form (digests and sizes, not artifacts)."""
         summary: Dict[str, Any] = {

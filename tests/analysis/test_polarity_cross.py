@@ -2,7 +2,7 @@
 
 import hypothesis.strategies as st
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 
 from repro import ProcessorConfig
 from repro.analysis import (
@@ -200,14 +200,16 @@ _formulas = st.deferred(lambda: st.one_of(
 
 
 class TestAgreementProperty:
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
     @given(phi=_formulas)
     def test_cross_check_never_finds_unsoundness(self, phi):
         info = classify(phi)
         findings = cross_check_polarity(phi, info)
         assert not errors(findings), [d.render() for d in findings]
 
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
     @given(phi=_formulas)
     def test_general_equation_sets_coincide(self, phi):
         assert (derive_polarity(phi).general_equations

@@ -1,0 +1,175 @@
+"""Live-tailing regression tests for :class:`repro.campaign.journal
+.JournalTailer`.
+
+`Journal.load` is replay-time machinery — it assumes the writer is gone.
+A *live* reader (the service's SSE endpoint) polls while the single
+writer is still appending, so it can observe a torn tail mid-flush: a
+trailing fragment with no newline yet, or a newline-terminated line
+whose CRC does not check out.  The tailer must hold such tails back and
+re-read them, never dropping or double-counting records.
+"""
+
+import json
+import threading
+import time
+
+from repro.campaign import Journal
+from repro.campaign.journal import JournalTailer
+
+
+def _append_all(path, records):
+    with Journal(str(path)) as journal:
+        for record in records:
+            journal.append(record)
+
+
+class TestIncrementalPolling:
+    def test_missing_file_is_empty_not_an_error(self, tmp_path):
+        tailer = JournalTailer(str(tmp_path / "absent.jsonl"))
+        assert tailer.poll() == []
+        assert tailer.poll() == []
+
+    def test_poll_returns_only_new_records(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        tailer = JournalTailer(str(path))
+        _append_all(path, [{"event": "start", "job_id": "a", "attempt": 1},
+                           {"event": "finish", "job_id": "a",
+                            "status": "PROVED"}])
+        first = tailer.poll()
+        assert [rec["event"] for rec in first] == ["start", "finish"]
+        assert tailer.poll() == []
+        _append_all(path, [{"event": "start", "job_id": "b", "attempt": 1}])
+        second = tailer.poll()
+        assert [rec["job_id"] for rec in second] == ["b"]
+        assert tailer.poll() == []
+
+    def test_matches_replay_semantics_on_a_finished_journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        records = [
+            {"event": "enqueue", "job": {"job_id": "a", "n_rob": 2}},
+            {"event": "start", "job_id": "a", "attempt": 1},
+            {"event": "finish", "job_id": "a", "status": "PROVED"},
+        ]
+        _append_all(path, records)
+        tailer = JournalTailer(str(path))
+        assert tailer.poll() == Journal.load(str(path)).records == records
+
+
+class TestTornTailTolerance:
+    def test_unterminated_fragment_is_held_back(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append_all(path, [{"event": "start", "job_id": "a", "attempt": 1}])
+        # Capture one full encoded line, then replay its append in two
+        # chunks with a poll in between — exactly what a reader racing
+        # the writer's write(2) can observe.
+        _append_all(path, [{"event": "finish", "job_id": "a",
+                            "status": "PROVED"}])
+        raw = path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        torn_at = len(lines[1]) // 2
+        path.write_bytes(lines[0] + lines[1][:torn_at])
+
+        tailer = JournalTailer(str(path))
+        assert [rec["event"] for rec in tailer.poll()] == ["start"]
+        assert tailer.poll() == []  # fragment still pending, no progress
+        with open(path, "ab") as handle:
+            handle.write(lines[1][torn_at:])
+        assert [rec["event"] for rec in tailer.poll()] == ["finish"]
+        assert tailer.corrupt_lines == 0
+
+    def test_crc_bad_final_line_is_held_back_then_reread(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append_all(path, [{"event": "start", "job_id": "a", "attempt": 1},
+                           {"event": "finish", "job_id": "a",
+                            "status": "PROVED"}])
+        raw_lines = path.read_bytes().splitlines(keepends=True)
+        # Flip the final line's payload without breaking JSON: its CRC
+        # no longer checks out — indistinguishable, to a live reader,
+        # from a write still in flight.
+        wrapper = json.loads(raw_lines[1])
+        wrapper["data"]["status"] = "BUG_FOUND"
+        bad = (json.dumps(wrapper) + "\n").encode("utf-8")
+        path.write_bytes(raw_lines[0] + bad)
+
+        tailer = JournalTailer(str(path))
+        assert [rec["event"] for rec in tailer.poll()] == ["start"]
+        assert tailer.corrupt_lines == 0  # held back, not yet condemned
+        # The "flush" completes: the writer overwrites nothing, but a
+        # fixed line lands where the bad bytes were re-read from.
+        path.write_bytes(raw_lines[0] + raw_lines[1])
+        assert [rec["status"] for rec in tailer.poll()] == ["PROVED"]
+        assert tailer.corrupt_lines == 0
+
+    def test_bad_line_superseded_by_later_record_counts_corrupt(
+        self, tmp_path
+    ):
+        path = tmp_path / "journal.jsonl"
+        _append_all(path, [{"event": "start", "job_id": "a", "attempt": 1}])
+        with open(path, "ab") as handle:
+            handle.write(b"not json at all {{{\n")
+        tailer = JournalTailer(str(path))
+        assert [rec["event"] for rec in tailer.poll()] == ["start"]
+        assert tailer.corrupt_lines == 0  # still the live tail
+        _append_all(path, [{"event": "finish", "job_id": "a",
+                            "status": "PROVED"}])
+        assert [rec["event"] for rec in tailer.poll()] == ["finish"]
+        assert tailer.corrupt_lines == 1  # now provably mid-file garbage
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append_all(path, [{"event": "start", "job_id": "a", "attempt": 1}])
+        with open(path, "ab") as handle:
+            handle.write(b"\n\n")
+        _append_all(path, [{"event": "finish", "job_id": "a",
+                            "status": "PROVED"}])
+        tailer = JournalTailer(str(path))
+        assert [rec["event"] for rec in tailer.poll()] == ["start", "finish"]
+        assert tailer.corrupt_lines == 0
+
+
+class TestConcurrentWriter:
+    def test_tailing_while_a_writer_appends(self, tmp_path):
+        """The satellite regression scenario: a reader polls in a tight
+        loop while a real Journal writer appends; every record must be
+        seen exactly once, in order, with no corruption flagged."""
+        path = tmp_path / "journal.jsonl"
+        total = 200
+        stop = threading.Event()
+
+        def writer():
+            with Journal(str(path)) as journal:
+                for index in range(total):
+                    journal.append({"event": "finish",
+                                    "job_id": f"job-{index:04d}",
+                                    "status": "PROVED"})
+                    if index % 20 == 0:
+                        time.sleep(0.001)
+            stop.set()
+
+        thread = threading.Thread(target=writer)
+        tailer = JournalTailer(str(path))
+        collected = []
+        thread.start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                collected.extend(tailer.poll())
+                if stop.is_set():
+                    collected.extend(tailer.poll())  # final drain
+                    break
+        finally:
+            thread.join(30.0)
+        assert [rec["job_id"] for rec in collected] == [
+            f"job-{index:04d}" for index in range(total)
+        ]
+        assert tailer.corrupt_lines == 0
+
+    def test_two_independent_tailers_see_the_same_stream(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append_all(path, [{"event": "start", "job_id": "a", "attempt": 1}])
+        one, two = JournalTailer(str(path)), JournalTailer(str(path))
+        assert one.poll() == two.poll()
+        _append_all(path, [{"event": "finish", "job_id": "a",
+                            "status": "PROVED"}])
+        assert one.poll() == two.poll()
+        assert one.poll() == two.poll() == []

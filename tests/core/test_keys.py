@@ -1,0 +1,146 @@
+"""Stability contract of the canonical content keys (repro.core.keys)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import ProcessorConfig
+from repro.core.keys import canonical_key, config_dict
+
+REGISTRY = "5r-abcdefabcdef"  # a fixed registry pin for key stability
+
+
+class TestConfigDict:
+    def test_dataclass_and_mapping_agree(self):
+        config = ProcessorConfig(n_rob=8, issue_width=2, retire_width=1)
+        assert config_dict(config) == config_dict(
+            {"n_rob": 8, "issue_width": 2, "retire_width": 1}
+        )
+
+    def test_retire_width_defaulting_cannot_split_the_keyspace(self):
+        # retire_width=None means "same as issue width"; both spellings
+        # must normalize to the identical canonical dict.
+        explicit = config_dict({"n_rob": 4, "issue_width": 2,
+                                "retire_width": 2})
+        defaulted = config_dict({"n_rob": 4, "issue_width": 2})
+        assert explicit == defaulted
+
+    def test_string_numbers_normalize(self):
+        assert config_dict({"n_rob": "4", "issue_width": "2"}) == \
+            config_dict({"n_rob": 4, "issue_width": 2})
+
+
+class TestCanonicalKey:
+    def test_field_order_never_matters(self):
+        options_a = {"method": "rewriting", "criterion": "disjunction",
+                     "certify": True}
+        options_b = {"certify": True, "criterion": "disjunction",
+                     "method": "rewriting"}
+        config_a = {"n_rob": 8, "issue_width": 4, "retire_width": 4}
+        config_b = {"retire_width": 4, "issue_width": 4, "n_rob": 8}
+        assert canonical_key(config_a, options_a, REGISTRY) == \
+            canonical_key(config_b, options_b, REGISTRY)
+
+    def test_dataclass_and_mapping_forms_agree(self):
+        config = ProcessorConfig(n_rob=8, issue_width=4)
+        assert canonical_key(config, {"method": "rewriting"}, REGISTRY) == \
+            canonical_key({"n_rob": 8, "issue_width": 4},
+                          {"method": "rewriting"}, REGISTRY)
+
+    def test_none_valued_options_are_dropped(self):
+        config = ProcessorConfig(n_rob=4, issue_width=2)
+        with_none = {"method": "rewriting", "bug_kind": None,
+                     "certify": None}
+        without = {"method": "rewriting"}
+        assert canonical_key(config, with_none, REGISTRY) == \
+            canonical_key(config, without, REGISTRY)
+
+    def test_config_changes_the_key(self):
+        options = {"method": "rewriting"}
+        assert canonical_key(ProcessorConfig(4, 2), options, REGISTRY) != \
+            canonical_key(ProcessorConfig(8, 2), options, REGISTRY)
+
+    def test_options_change_the_key(self):
+        config = ProcessorConfig(4, 2)
+        assert canonical_key(config, {"method": "rewriting"}, REGISTRY) != \
+            canonical_key(config, {"method": "positive_equality"}, REGISTRY)
+        assert canonical_key(config, {"certify": True}, REGISTRY) != \
+            canonical_key(config, {}, REGISTRY)
+
+    def test_registry_version_changes_the_key(self):
+        config = ProcessorConfig(4, 2)
+        assert canonical_key(config, {}, "5r-000000000000") != \
+            canonical_key(config, {}, "5r-111111111111")
+
+    def test_key_is_sha256_hex(self):
+        key = canonical_key(ProcessorConfig(4, 2), {}, REGISTRY)
+        assert len(key) == 64
+        assert all(c in "0123456789abcdef" for c in key)
+
+    def test_defaults_to_live_registry_version(self):
+        from repro.rewriting.version import registry_version
+
+        config = ProcessorConfig(4, 2)
+        assert canonical_key(config, {"method": "rewriting"}) == \
+            canonical_key(config, {"method": "rewriting"},
+                          registry_version())
+
+
+class TestCrossProcessStability:
+    """Equal inputs must hash equal across *process restarts* — no
+    ``hash()`` randomization or dict-order dependence may leak in."""
+
+    def test_key_survives_a_process_restart(self):
+        config = {"n_rob": 12, "issue_width": 4, "retire_width": 2}
+        options = {"method": "positive_equality", "criterion": "case_split",
+                   "bug_kind": "forward-wrong-source", "bug_entry": 3,
+                   "certify": True}
+        here = canonical_key(config, options, REGISTRY)
+
+        script = (
+            "import json, sys\n"
+            "from repro.core.keys import canonical_key\n"
+            "spec = json.load(sys.stdin)\n"
+            "print(canonical_key(spec['config'], spec['options'],"
+            " spec['registry']))\n"
+        )
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        # Force a different hash seed so any hash()-order dependence in
+        # the serialization would show up as a different key.
+        env["PYTHONHASHSEED"] = "12345"
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps(
+                {"config": config, "options": options, "registry": REGISTRY}
+            ),
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == here
+
+    def test_live_registry_version_survives_a_process_restart(self):
+        from repro.rewriting.version import registry_version
+
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        env["PYTHONHASHSEED"] = "54321"
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.rewriting.version import registry_version;"
+             "print(registry_version())"],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == registry_version()
+
+
+class TestBadInput:
+    def test_mapping_without_required_fields_raises(self):
+        with pytest.raises(KeyError):
+            config_dict({"n_rob": 4})

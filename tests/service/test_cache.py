@@ -1,0 +1,107 @@
+"""Result-cache tests (repro.service.cache)."""
+
+import json
+
+import pytest
+
+from repro.service.cache import CACHEABLE_STATES, CacheEntry, ResultCache
+
+KEY_A = "ab" + "0" * 62
+KEY_B = "cd" + "1" * 62
+
+
+def _entry(key=KEY_A, status="PROVED"):
+    return CacheEntry(
+        key=key,
+        result={"job_id": "rob4-w2", "status": status,
+                "method": "rewriting", "attempts": 1},
+        config={"n_rob": 4, "issue_width": 2, "retire_width": 2},
+        options={"method": "rewriting", "criterion": "disjunction"},
+        registry_version="5r-abcdefabcdef",
+        repro_version="1.2.0",
+        artifacts=["deadbeefdeadbeef"],
+    )
+
+
+class TestRoundtrip:
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.put(_entry()) is True
+        entry = cache.get(KEY_A)
+        assert entry is not None
+        assert entry.result["status"] == "PROVED"
+        assert entry.config["n_rob"] == 4
+        assert entry.artifacts == ["deadbeefdeadbeef"]
+        assert entry.registry_version == "5r-abcdefabcdef"
+
+    def test_miss_is_none(self, tmp_path):
+        assert ResultCache(str(tmp_path)).get(KEY_B) is None
+
+    def test_keys_and_len(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(_entry(KEY_A))
+        cache.put(_entry(KEY_B, status="BUG_FOUND"))
+        assert sorted(cache.keys()) == sorted([KEY_A, KEY_B])
+        assert len(cache) == 2
+
+    def test_overwrite_is_last_writer_wins(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(_entry())
+        newer = _entry()
+        newer.result["attempts"] = 7
+        cache.put(newer)
+        assert cache.get(KEY_A).result["attempts"] == 7
+        assert len(cache) == 1
+
+
+class TestCacheability:
+    @pytest.mark.parametrize("status", CACHEABLE_STATES)
+    def test_definitive_outcomes_are_stored(self, tmp_path, status):
+        cache = ResultCache(str(tmp_path))
+        assert cache.put(_entry(status=status)) is True
+
+    def test_inconclusive_is_refused(self, tmp_path):
+        # INCONCLUSIVE means "the budget ran out" — a property of the
+        # request, not the configuration; caching it would serve one
+        # client's exhaustion as another client's verdict.
+        cache = ResultCache(str(tmp_path))
+        assert cache.put(_entry(status="INCONCLUSIVE")) is False
+        assert cache.get(KEY_A) is None
+        assert len(cache) == 0
+
+
+class TestCorruptionTolerance:
+    def test_torn_json_counts_as_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(_entry())
+        path = tmp_path / KEY_A[:2] / f"{KEY_A}.json"
+        path.write_text(path.read_text()[:40])  # torn write
+        assert cache.get(KEY_A) is None
+        # And the key is not wedged: a re-put heals it.
+        assert cache.put(_entry()) is True
+        assert cache.get(KEY_A) is not None
+
+    def test_key_mismatch_counts_as_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(_entry())
+        path = tmp_path / KEY_A[:2] / f"{KEY_A}.json"
+        data = json.loads(path.read_text())
+        data["key"] = KEY_B  # renamed/copied file: content disagrees
+        path.write_text(json.dumps(data))
+        assert cache.get(KEY_A) is None
+
+    def test_non_object_document_counts_as_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(_entry())
+        path = tmp_path / KEY_A[:2] / f"{KEY_A}.json"
+        path.write_text("[1, 2, 3]")
+        assert cache.get(KEY_A) is None
+
+
+class TestKeyValidation:
+    @pytest.mark.parametrize("bad", ["", "xy", "ZZ" + "0" * 62,
+                                     "../../etc/passwd"])
+    def test_non_canonical_keys_are_rejected(self, tmp_path, bad):
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises(ValueError):
+            cache.get(bad)

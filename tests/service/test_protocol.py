@@ -1,0 +1,150 @@
+"""Request-vocabulary tests (repro.service.protocol)."""
+
+import pytest
+
+from repro.campaign import Job
+from repro.service.protocol import (
+    MAX_JOBS_PER_REQUEST,
+    ServiceError,
+    SubmitRequest,
+    job_options,
+)
+
+
+def _status(excinfo):
+    return excinfo.value.status
+
+
+class TestParseHappyPath:
+    def test_grid_shorthand(self):
+        request = SubmitRequest.parse({"grid": "4x2,8x2"})
+        assert [(job.n_rob, job.issue_width) for job in request.jobs] == \
+            [(4, 2), (8, 2)]
+        assert request.certify is False
+        assert request.analyze is False
+
+    def test_explicit_configs_and_grid_combine(self):
+        request = SubmitRequest.parse({
+            "configs": [{"n_rob": 2, "issue_width": 1}],
+            "grid": "4x2",
+        })
+        assert [(job.n_rob, job.issue_width) for job in request.jobs] == \
+            [(2, 1), (4, 2)]
+
+    def test_options_ride_on_every_job(self):
+        request = SubmitRequest.parse({
+            "grid": "4x2",
+            "method": "positive_equality",
+            "criterion": "case_split",
+            "bug": {"kind": "forward-wrong-source", "entry": 3},
+            "certify": True,
+            "analyze": True,
+            "client": "tester",
+            "budgets": {"max_conflicts": 100, "max_seconds": 1.5},
+        })
+        (job,) = request.jobs
+        assert job.method == "positive_equality"
+        assert job.criterion == "case_split"
+        assert job.bug_kind == "forward-wrong-source"
+        assert job.bug_entry == 3
+        assert job.max_conflicts == 100
+        assert job.max_seconds == pytest.approx(1.5)
+        assert request.certify and request.analyze
+        assert request.client == "tester"
+
+    def test_duplicate_configs_get_distinct_job_ids(self):
+        request = SubmitRequest.parse({"grid": "4x2,4x2,4x2"})
+        ids = [job.job_id for job in request.jobs]
+        assert len(set(ids)) == 3  # the journal requires unique ids
+
+    def test_roundtrip_through_durable_form(self):
+        request = SubmitRequest.parse({
+            "grid": "4x2", "certify": True, "client": "rt",
+            "budgets": {"max_conflicts": 10},
+        })
+        again = SubmitRequest.from_dict(request.to_dict())
+        assert [job.to_dict() for job in again.jobs] == \
+            [job.to_dict() for job in request.jobs]
+        assert again.certify == request.certify
+        assert again.client == request.client
+        assert again.budgets == request.budgets
+
+
+class TestParseRejections:
+    def test_non_object_body(self):
+        with pytest.raises(ServiceError) as excinfo:
+            SubmitRequest.parse(["not", "an", "object"])
+        assert _status(excinfo) == 400
+
+    def test_unknown_fields(self):
+        with pytest.raises(ServiceError) as excinfo:
+            SubmitRequest.parse({"grid": "4x2", "bogus": 1})
+        assert _status(excinfo) == 400
+        assert "bogus" in str(excinfo.value)
+
+    def test_unknown_method_and_criterion(self):
+        with pytest.raises(ServiceError):
+            SubmitRequest.parse({"grid": "4x2", "method": "magic"})
+        with pytest.raises(ServiceError):
+            SubmitRequest.parse({"grid": "4x2", "criterion": "vibes"})
+
+    def test_bad_bug(self):
+        with pytest.raises(ServiceError):
+            SubmitRequest.parse({"grid": "4x2", "bug": "not-an-object"})
+        with pytest.raises(ServiceError):
+            SubmitRequest.parse({"grid": "4x2", "bug": {"kind": "no-such"}})
+
+    def test_bad_budget_field(self):
+        with pytest.raises(ServiceError) as excinfo:
+            SubmitRequest.parse({"grid": "4x2",
+                                 "budgets": {"max_lightyears": 3}})
+        assert "max_lightyears" in str(excinfo.value)
+
+    def test_empty_request(self):
+        with pytest.raises(ServiceError) as excinfo:
+            SubmitRequest.parse({})
+        assert "no work" in str(excinfo.value)
+
+    def test_bad_grid_string(self):
+        with pytest.raises(ServiceError) as excinfo:
+            SubmitRequest.parse({"grid": "4by2"})
+        assert _status(excinfo) == 400
+
+    def test_config_missing_fields(self):
+        with pytest.raises(ServiceError):
+            SubmitRequest.parse({"configs": [{"n_rob": 4}]})
+
+    def test_invalid_config_values(self):
+        with pytest.raises(ServiceError):
+            SubmitRequest.parse(
+                {"configs": [{"n_rob": 0, "issue_width": 1}]}
+            )
+
+    def test_job_ceiling(self):
+        configs = [{"n_rob": 2, "issue_width": 1}] * (
+            MAX_JOBS_PER_REQUEST + 1
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            SubmitRequest.parse({"configs": configs})
+        assert "ceiling" in str(excinfo.value)
+
+
+class TestJobOptions:
+    def test_budgets_never_leak_into_the_cache_key_options(self):
+        job = Job.build(4, 2, max_conflicts=100, max_seconds=1.0)
+        options = job_options(job, certify=False, analyze=False)
+        assert "max_conflicts" not in options
+        assert "max_seconds" not in options
+
+    def test_bug_fields_are_none_without_a_bug(self):
+        job = Job.build(4, 2)
+        options = job_options(job, certify=False, analyze=False)
+        assert options["bug_kind"] is None
+        assert options["bug_entry"] is None
+        assert options["bug_operand"] is None
+
+    def test_certify_and_analyze_matter(self):
+        job = Job.build(4, 2)
+        plain = job_options(job, certify=False, analyze=False)
+        certified = job_options(job, certify=True, analyze=False)
+        assert plain != certified
