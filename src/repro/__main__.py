@@ -170,6 +170,17 @@ def build_parser() -> argparse.ArgumentParser:
             "with status 3 when the witness fails validation"
         ),
     )
+    parser.add_argument(
+        "--sat-backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "SAT backend: reference (in-tree CDCL, default), pysat, "
+            "dimacs (solver binary on $PATH), or auto; verdicts are "
+            "backend-independent, and certifying runs fall back to the "
+            "reference when the backend cannot log DRUP proofs"
+        ),
+    )
     return parser
 
 
@@ -246,6 +257,7 @@ def main(argv=None) -> int:
             analyze=args.analyze or args.strict,
             strict=args.strict,
             certify=args.certify,
+            sat_backend=args.sat_backend,
         )
     except AnalysisError as exc:
         from .core.reporting import render_diagnostics

@@ -35,7 +35,7 @@ import os
 import sys
 from typing import List, Optional
 
-from ..errors import CampaignError, JournalError
+from ..errors import CampaignError, JournalError, SolverError
 from ..processor.bugs import BugKind
 from .faults import Fault, FaultPlan
 from .jobs import Job
@@ -165,10 +165,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workers",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
-        help="fan jobs out to N worker processes (default 1: in-process); "
-        "the parent remains the single journal writer",
+        help="fan jobs out to N worker processes (default: the machine's "
+        "CPU count — more buys nothing for this CPU-bound workload and "
+        "journals an oversubscription warning); the parent remains the "
+        "single journal writer",
+    )
+    parser.add_argument(
+        "--sat-backend",
+        default=None,
+        metavar="NAME",
+        help="SAT backend for every verification: reference (in-tree "
+        "CDCL, default), pysat, dimacs, or auto (first available); "
+        "verdicts are backend-independent by contract",
+    )
+    parser.add_argument(
+        "--no-incremental-sat",
+        action="store_true",
+        help="solve every CNF cold instead of resuming same-digest SAT "
+        "sessions (learned clauses, activities) across jobs and retries",
     )
     parser.add_argument(
         "--breaker",
@@ -288,13 +304,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             strict_journal=args.strict_journal,
             analyze=args.analyze,
             certify=args.certify,
-            workers=args.workers,
+            workers=args.workers
+            if args.workers is not None
+            else (os.cpu_count() or 1),
             breaker_threshold=args.breaker,
             hang_timeout=args.hang_timeout,
             heartbeat_interval=args.heartbeat_interval,
+            sat_backend=args.sat_backend,
+            incremental_sat=not args.no_incremental_sat,
         )
         report = runner.run(jobs)
-    except (CampaignError, JournalError, OSError) as exc:
+    except (CampaignError, JournalError, SolverError, OSError) as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
     print()

@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import BudgetExhausted, SolverError
 from ..eufm import builder
+from ..guard.deadline import current_deadline
+from ..obs.tracer import current_tracer
 from ..eufm.ast import (
     FALSE,
     TRUE,
@@ -92,6 +94,11 @@ def _search(phi: Formula, env: Env, budget: DecisionBudget) -> bool:
             "this indicates a simplification gap"
         )
     budget.charge()
+    # Cooperative supervision: the splitter is exponential in the worst
+    # case, so honor the ambient pipeline deadline and surface the work
+    # on the trace (tick() rate-limits the actual clock reads).
+    current_deadline().tick("decision")
+    current_tracer().add("decision.splits", 1)
     for value in (True, False):
         extended = env.assume(atom, value)
         if extended is not None and _search(phi, extended, budget):

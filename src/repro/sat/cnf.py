@@ -81,11 +81,23 @@ class Cnf:
         }
 
     def check_assignment(self, assignment: Dict[int, bool]) -> bool:
-        """True when every clause has a satisfied literal under ``assignment``."""
+        """True when every clause has a satisfied literal under ``assignment``.
+
+        A literal whose variable is *missing* from ``assignment`` never
+        satisfies a clause: an incomplete model is rejected rather than
+        the missing variables being read as false (which wrongly
+        validated negative literals of unassigned variables).  The
+        witness replay path relies on this to reject truncated
+        counterexamples.
+        """
         for clause in self.clauses:
-            if not any(
-                assignment.get(abs(lit), False) == (lit > 0) for lit in clause
-            ):
+            satisfied = False
+            for lit in clause:
+                value = assignment.get(abs(lit))
+                if value is not None and value == (lit > 0):
+                    satisfied = True
+                    break
+            if not satisfied:
                 return False
         return True
 

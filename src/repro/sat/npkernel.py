@@ -1,0 +1,173 @@
+"""Vectorized root-level unit propagation (the optional numpy kernel).
+
+The pure-Python watched-literal loop of :mod:`repro.sat.solver` costs a
+few microseconds per propagation — fine inside the search, but the very
+first thing every solve does is flush the *root* cascade: the input unit
+clauses ripple through the Tseitin structure one literal at a time.  On
+the large CNFs of the wide configurations that cascade is thousands of
+propagations before the first decision.
+
+This module replays that cascade as whole-array work: the clause
+database is flattened once into a CSR-style layout (one literal array
+plus clause offsets) and each round recomputes, vectorized,
+
+* the value of every literal under the current assignment,
+* per-clause false counts and satisfied flags (``np.add.reduceat``),
+* the set of conflicting and unit clauses,
+
+then assigns all discovered units at once and repeats to fixpoint.  A
+round is O(total literals) of C-speed array math instead of O(cascade)
+Python bytecode, which wins whenever the pending root queue is long.
+
+Soundness note for callers: bulk assignment bypasses the solver's watch
+lists, so after a fixpoint the caller MUST rebuild its watches (see
+:meth:`repro.sat.incremental.IncrementalSolver._rebuild_watches`) and
+re-run its own propagation once from the start of the trail.  The kernel
+may legitimately *miss* propagations past ``max_rounds`` — it is an
+accelerator, never the authority: anything it misses is picked up by the
+watched-literal rescan, and anything it derives is checked again there.
+
+numpy is optional.  When it is not importable :data:`HAVE_NUMPY` is
+False and :func:`propagate_root` returns ``None``, telling the caller to
+take the ordinary watched path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import SolverError
+
+try:  # pragma: no cover - exercised implicitly by HAVE_NUMPY tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None  # type: ignore[assignment]
+
+__all__ = ["HAVE_NUMPY", "KernelResult", "RootPropagationKernel",
+           "propagate_root"]
+
+#: True when the vectorized kernel can run at all.
+HAVE_NUMPY = _np is not None
+
+#: Default bound on fixpoint rounds.  Each round is a full O(literals)
+#: recompute, so a very deep implication chain is better finished by the
+#: watched loop; 64 rounds covers the Tseitin root cascades we see while
+#: bounding the worst case.
+DEFAULT_MAX_ROUNDS = 64
+
+
+class KernelResult:
+    """Outcome of one root fixpoint run."""
+
+    __slots__ = ("implied", "conflict", "rounds", "propagations")
+
+    def __init__(
+        self,
+        implied: List[int],
+        conflict: bool,
+        rounds: int,
+        propagations: int,
+    ) -> None:
+        #: newly implied root literals, in derivation order.
+        self.implied = implied
+        #: True when the root assignment is contradictory (UNSAT).
+        self.conflict = conflict
+        self.rounds = rounds
+        self.propagations = propagations
+
+
+class RootPropagationKernel:
+    """CSR layout of a clause database for counting-based propagation.
+
+    ``clauses`` must contain only clauses of two or more literals (the
+    solver keeps unit input clauses on the trail, never in the database),
+    so the ``reduceat`` segments are all non-empty.
+    """
+
+    def __init__(
+        self, clauses: Sequence[Sequence[int]], num_vars: int
+    ) -> None:
+        if _np is None:  # pragma: no cover - guarded by HAVE_NUMPY
+            raise SolverError("numpy is not available")
+        self.num_vars = num_vars
+        self.num_clauses = len(clauses)
+        flat: List[int] = []
+        lengths: List[int] = []
+        for clause in clauses:
+            if len(clause) < 2:
+                raise ValueError(
+                    "the kernel propagates clauses of >= 2 literals; "
+                    "units belong on the trail"
+                )
+            flat.extend(clause)
+            lengths.append(len(clause))
+        self._lit = _np.asarray(flat, dtype=_np.int64)
+        self._var = _np.abs(self._lit)
+        self._sign = _np.sign(self._lit).astype(_np.int8)
+        self._lengths = _np.asarray(lengths, dtype=_np.int64)
+        self._offsets = _np.zeros(self.num_clauses, dtype=_np.int64)
+        if self.num_clauses > 1:
+            _np.cumsum(self._lengths[:-1], out=self._offsets[1:])
+
+    def fixpoint(
+        self,
+        assigns: Sequence[int],
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+    ) -> KernelResult:
+        """Propagate ``assigns`` (0/+1/-1 per variable, 1-indexed) to a
+        fixpoint; returns the implied literals without mutating the
+        caller's assignment."""
+        implied: List[int] = []
+        conflict = False
+        rounds = 0
+        if self.num_clauses == 0:
+            return KernelResult(implied, conflict, rounds, 0)
+        a = _np.asarray(assigns, dtype=_np.int8).copy()
+        for _ in range(max(1, max_rounds)):
+            rounds += 1
+            vals = a[self._var] * self._sign
+            false_counts = _np.add.reduceat(
+                (vals < 0).astype(_np.int64), self._offsets
+            )
+            satisfied = _np.add.reduceat(
+                (vals > 0).astype(_np.int64), self._offsets
+            ) > 0
+            open_clauses = ~satisfied
+            if bool(_np.any(open_clauses & (false_counts == self._lengths))):
+                conflict = True
+                break
+            unit_clauses = open_clauses & (false_counts == self._lengths - 1)
+            if not bool(unit_clauses.any()):
+                break
+            candidate_mask = (
+                _np.repeat(unit_clauses, self._lengths) & (vals == 0)
+            )
+            fresh = 0
+            for lit in self._lit[candidate_mask].tolist():
+                var = lit if lit > 0 else -lit
+                want = 1 if lit > 0 else -1
+                current = int(a[var])
+                if current == 0:
+                    a[var] = want
+                    implied.append(lit)
+                    fresh += 1
+                elif current != want:
+                    # Two unit clauses disagree on the variable.
+                    conflict = True
+                    break
+            if conflict or fresh == 0:
+                break
+        return KernelResult(implied, conflict, rounds, len(implied))
+
+
+def propagate_root(
+    clauses: Sequence[Sequence[int]],
+    num_vars: int,
+    assigns: Sequence[int],
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> Optional[KernelResult]:
+    """One-shot convenience wrapper; ``None`` when numpy is unavailable."""
+    if not HAVE_NUMPY or not clauses:
+        return None
+    kernel = RootPropagationKernel(clauses, num_vars)
+    return kernel.fixpoint(assigns, max_rounds=max_rounds)

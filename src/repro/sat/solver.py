@@ -66,6 +66,10 @@ class SatResult:
     #: ``log_proof=True``; ``None`` otherwise.  Only meaningful for
     #: ``"unsat"`` outcomes (the final step is then the empty clause).
     proof: Optional[List[Tuple[str, Tuple[int, ...]]]] = None
+    #: for ``"unsat"`` under assumptions (incremental solving): the
+    #: subset of the assumption literals responsible for the failure.
+    #: ``None`` for plain unsatisfiability or non-assumption runs.
+    core: Optional[Tuple[int, ...]] = None
 
     @property
     def is_sat(self) -> bool:
@@ -114,6 +118,10 @@ class Solver:
         self.cla_decay = 0.999
         self.ok = True
         self.stats = SatResult(status="unknown")
+        #: amortized clause-activity rescales performed (see
+        #: :meth:`_rescale_clause_activities`); exposed for regression
+        #: tests asserting bounded per-conflict bump work.
+        self._activity_rescales = 0
         # Lazy decision heap of (-activity, var); stale entries skipped.
         self._heap: List[Tuple[float, int]] = []
         for var in range(1, self.num_vars + 1):
@@ -325,13 +333,24 @@ class Solver:
             self._heap.sort()
 
     def _bump_clause(self, clause: _Clause) -> None:
-        if not clause.learned:
-            return
-        clause.activity += self.cla_inc
-        if clause.activity > 1e20:
-            for learned in self.learned:
-                learned.activity *= 1e-20
-            self.cla_inc *= 1e-20
+        # O(1): rescaling is amortized onto the conflict path (see
+        # _rescale_clause_activities), triggered by cla_inc alone, so a
+        # saturated activity never makes every bump O(learned).
+        if clause.learned:
+            clause.activity += self.cla_inc
+
+    def _rescale_clause_activities(self) -> None:
+        """Uniformly rescale learned-clause activities.
+
+        Called from the conflict path when ``cla_inc`` saturates.  Since
+        every activity is a sum of past ``cla_inc`` values, bounding
+        ``cla_inc`` bounds them all; the uniform factor preserves the
+        relative order :meth:`_reduce_learned` sorts by.
+        """
+        for learned in self.learned:
+            learned.activity *= 1e-20
+        self.cla_inc *= 1e-20
+        self._activity_rescales += 1
 
     # ------------------------------------------------------------------
     # Backtracking and decisions
@@ -381,8 +400,26 @@ class Solver:
                 return True
         return False
 
+    def _learned_limit(self) -> int:
+        """Learned-clause count that triggers a reduction sweep.
+
+        Without an ambient memory budget this is the historical 4000.
+        Under a :class:`repro.guard.memory.MemoryBudget` the limit
+        shrinks with the remaining headroom so the learned database
+        cannot single-handedly exhaust the budget, with a floor of 256
+        (a solver that may keep no learned clauses cannot learn).
+        """
+        budget = current_deadline().memory
+        if budget is None:
+            return 4000
+        headroom = budget.max_bytes - budget.usage_bytes(sample=False)
+        per_clause = _CLAUSE_BYTES + 8 * 16  # assume ~16-literal clauses
+        if headroom <= 0:
+            return 256
+        return int(max(256, min(4000, headroom // (2 * per_clause))))
+
     def _reduce_learned(self) -> None:
-        if len(self.learned) < 4000:
+        if len(self.learned) < self._learned_limit():
             return
         self.learned.sort(key=lambda clause: clause.activity, reverse=True)
         keep = len(self.learned) // 2
@@ -501,6 +538,8 @@ class Solver:
                     deadline.charge(bytes_=_CLAUSE_BYTES + 8 * len(learnt))
                 self.var_inc /= self.var_decay
                 self.cla_inc /= self.cla_decay
+                if self.cla_inc > 1e20:
+                    self._rescale_clause_activities()
                 if max_conflicts is not None and result.conflicts >= max_conflicts:
                     result.status = "unknown"
                     break

@@ -32,6 +32,7 @@ import sys
 from typing import List, Optional
 
 from ..campaign.runner import DegradePolicy, RetryPolicy
+from ..errors import SolverError
 from .app import ServiceApp
 from .sessions import SessionManager
 
@@ -103,6 +104,17 @@ def build_parser() -> argparse.ArgumentParser:
         "positive_equality",
     )
     parser.add_argument(
+        "--sat-backend", default=None, metavar="NAME",
+        help="SAT backend for every session's verifications: reference "
+        "(in-tree CDCL, default), pysat, dimacs, or auto; verdicts are "
+        "backend-independent, so cache keys are unaffected",
+    )
+    parser.add_argument(
+        "--no-incremental-sat", action="store_true",
+        help="solve every CNF cold instead of resuming same-digest SAT "
+        "sessions across a campaign's jobs and retries",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"
     )
     return parser
@@ -149,18 +161,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         base_wall_seconds=args.deadline,
         base_memory_mb=args.max_memory,
     )
-    manager = SessionManager(
-        args.data_dir,
-        queue_limit=args.queue_limit,
-        max_running=args.max_running,
-        session_workers=args.session_workers,
-        breaker_threshold=args.breaker,
-        retry=retry,
-        degrade=DegradePolicy(
-            fallback_method=None if args.no_degrade else "positive_equality"
-        ),
-        log=log,
-    )
+    try:
+        manager = SessionManager(
+            args.data_dir,
+            queue_limit=args.queue_limit,
+            max_running=args.max_running,
+            session_workers=args.session_workers,
+            breaker_threshold=args.breaker,
+            retry=retry,
+            degrade=DegradePolicy(
+                fallback_method=None if args.no_degrade else "positive_equality"
+            ),
+            sat_backend=args.sat_backend,
+            incremental_sat=not args.no_incremental_sat,
+            log=log,
+        )
+    except (SolverError, OSError) as exc:
+        print(f"serve error: {exc}", file=sys.stderr)
+        return 2
     requeued = manager.reattach()
     if requeued:
         log(f"re-attached {len(requeued)} unfinished session(s)")

@@ -1,0 +1,187 @@
+"""The pluggable SAT backend protocol: resolution and ambient selection,
+the reference backend's parity with the classic solver, and the DIMACS
+subprocess adapter driven by a fake solver binary."""
+
+import os
+import stat
+import sys
+import textwrap
+
+import pytest
+
+from repro.errors import SolverError
+from repro.sat import (
+    BACKENDS,
+    Cnf,
+    DimacsSubprocessBackend,
+    PySatBackend,
+    ReferenceBackend,
+    available_backends,
+    current_backend,
+    resolve_backend,
+    solve_cnf,
+    use_backend,
+)
+
+
+def _cnf(num_vars, clauses):
+    cnf = Cnf(num_vars=num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+CASES = [
+    (2, [[1, 2]], "sat"),
+    (1, [[1], [-1]], "unsat"),
+    (3, [[1], [-1, 2], [-2, 3], [-3]], "unsat"),
+    (3, [[1, 2], [-1, 3], [-2, 3]], "sat"),
+]
+
+
+class TestResolution:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SAT_BACKEND", raising=False)
+        assert resolve_backend(None) is ReferenceBackend
+        assert current_backend() is ReferenceBackend
+
+    def test_environment_variable_is_consulted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAT_BACKEND", "reference")
+        assert resolve_backend(None) is ReferenceBackend
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SolverError):
+            resolve_backend("zchaff")
+
+    def test_unavailable_backend_raises(self, monkeypatch):
+        monkeypatch.setattr(
+            PySatBackend, "is_available", classmethod(lambda cls: False)
+        )
+        with pytest.raises(SolverError):
+            resolve_backend("pysat")
+
+    def test_auto_falls_back_to_reference(self, monkeypatch):
+        monkeypatch.setattr(
+            PySatBackend, "is_available", classmethod(lambda cls: False)
+        )
+        monkeypatch.setattr(
+            DimacsSubprocessBackend,
+            "is_available",
+            classmethod(lambda cls: False),
+        )
+        assert resolve_backend("auto") is ReferenceBackend
+
+    def test_reference_is_always_available(self):
+        assert "reference" in available_backends()
+        assert set(available_backends()) <= set(BACKENDS)
+
+    def test_use_backend_scopes_the_selection(self):
+        with use_backend("reference") as installed:
+            assert installed is ReferenceBackend
+            assert current_backend() is ReferenceBackend
+        assert current_backend() is ReferenceBackend
+
+
+class TestReferenceBackend:
+    @pytest.mark.parametrize("num_vars, clauses, status", CASES)
+    def test_verdict_parity_with_classic_solver(
+        self, num_vars, clauses, status
+    ):
+        cnf = _cnf(num_vars, clauses)
+        assert solve_cnf(cnf).status == status
+        assert ReferenceBackend.solve_cnf(cnf).status == status
+
+    def test_incremental_handle_with_assumptions(self):
+        handle = ReferenceBackend(2)
+        handle.add_clause([1, 2])
+        assert handle.solve(assumptions=[-1]).is_sat
+        assert handle.model()[2] is True
+        result = handle.solve(assumptions=[-1, -2])
+        assert result.is_unsat
+        assert result.core is not None
+
+    def test_classmethod_solve_cnf_logs_proofs(self):
+        result = ReferenceBackend.solve_cnf(
+            _cnf(1, [[1], [-1]]), log_proof=True
+        )
+        assert result.is_unsat
+        assert result.proof[-1] == ("a", ())
+
+
+# A tiny honest DIMACS solver: brute-force enumeration, SAT-competition
+# exit codes (10/20), "s ..."/"v ..." output.  Small inputs only.
+_FAKE_SOLVER = textwrap.dedent(
+    """\
+    #!{python}
+    import itertools, sys
+    clauses, num_vars = [], 0
+    with open(sys.argv[1]) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                num_vars = int(line.split()[2])
+                continue
+            clauses.append([int(tok) for tok in line.split()[:-1]])
+    for bits in itertools.product([False, True], repeat=num_vars):
+        model = {{i + 1: bits[i] for i in range(num_vars)}}
+        if all(any(model[abs(l)] == (l > 0) for l in c) for c in clauses):
+            print("s SATISFIABLE")
+            print("v " + " ".join(
+                str(v if model[v] else -v) for v in sorted(model)) + " 0")
+            sys.exit(10)
+    print("s UNSATISFIABLE")
+    sys.exit(20)
+    """
+)
+
+
+@pytest.fixture
+def fake_dimacs_solver(tmp_path, monkeypatch):
+    script = tmp_path / "fakesat"
+    script.write_text(_FAKE_SOLVER.format(python=sys.executable))
+    script.chmod(script.stat().st_mode | stat.S_IXUSR)
+    monkeypatch.setenv("REPRO_SAT_DIMACS_SOLVER", str(script))
+    return script
+
+
+class TestDimacsSubprocessBackend:
+    def test_env_override_selects_the_binary(self, fake_dimacs_solver):
+        assert DimacsSubprocessBackend.is_available()
+        assert DimacsSubprocessBackend.solver_path() == str(
+            fake_dimacs_solver
+        )
+
+    @pytest.mark.parametrize("num_vars, clauses, status", CASES)
+    def test_verdict_parity(self, fake_dimacs_solver, num_vars, clauses,
+                            status):
+        result = DimacsSubprocessBackend.solve_cnf(_cnf(num_vars, clauses))
+        assert result.status == status
+        if status == "sat":
+            assert _cnf(num_vars, clauses).check_assignment(result.model)
+
+    def test_assumptions_as_appended_units(self, fake_dimacs_solver):
+        handle = DimacsSubprocessBackend(2)
+        handle.add_clause([1, 2])
+        assert handle.solve(assumptions=[-1]).is_sat
+        assert handle.solve(assumptions=[-1, -2]).is_unsat
+        # Assumptions must not stick to the handle between calls.
+        assert handle.solve().is_sat
+
+    def test_refuses_proof_logging(self, fake_dimacs_solver):
+        with pytest.raises(SolverError):
+            DimacsSubprocessBackend(2, log_proof=True)
+
+    def test_missing_binary_is_unavailable(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_SAT_DIMACS_SOLVER", "/nonexistent/solver-binary"
+        )
+        assert not DimacsSubprocessBackend.is_available()
+        with pytest.raises(SolverError):
+            DimacsSubprocessBackend(2)
+
+    def test_selectable_through_use_backend(self, fake_dimacs_solver):
+        with use_backend("dimacs") as backend:
+            assert backend is DimacsSubprocessBackend
+            assert backend.solve_cnf(_cnf(1, [[1], [-1]])).is_unsat

@@ -51,6 +51,25 @@ class TestCnf:
         assert not cnf.check_assignment({1: True, 2: True})
         assert not cnf.check_assignment({1: False, 2: False})
 
+    def test_check_assignment_rejects_incomplete_models(self):
+        # A missing variable is *unknown*, not false: witness replay
+        # relies on check_assignment refusing to vouch for a partial
+        # model, whichever polarity would have satisfied the clause.
+        cnf = Cnf(num_vars=2)
+        cnf.add_clause([1, 2])
+        assert not cnf.check_assignment({})
+        assert not cnf.check_assignment({1: False})
+        assert not cnf.check_assignment({2: None, 1: False})
+        assert cnf.check_assignment({1: False, 2: True})
+
+    def test_check_assignment_negative_literal_needs_assignment(self):
+        cnf = Cnf(num_vars=1)
+        cnf.add_clause([-1])
+        # Before the fix a missing var 1 counted as false, wrongly
+        # satisfying the negative literal.
+        assert not cnf.check_assignment({})
+        assert cnf.check_assignment({1: False})
+
 
 class TestDimacs:
     def test_round_trip(self):

@@ -1,0 +1,135 @@
+"""The vectorized root-propagation kernel: fixpoint correctness,
+conflict detection, the max_rounds truncation contract, and the solver's
+watched-pass self-correction after a kernel pass."""
+
+import pytest
+
+from repro.sat import Cnf, IncrementalSolver, solve_cnf
+from repro.sat.npkernel import (
+    DEFAULT_MAX_ROUNDS,
+    HAVE_NUMPY,
+    RootPropagationKernel,
+    propagate_root,
+)
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+
+def _chain(length):
+    """x1 -> x2 -> ... -> x_length, unit x1 LAST (Tseitin convention),
+    as (clauses, num_vars, root_assignment)."""
+    clauses = [[-i, i + 1] for i in range(1, length)]
+    assigns = [0] * (length + 1)
+    assigns[1] = 1
+    return clauses, length, assigns
+
+
+class TestKernelFixpoint:
+    def test_chain_cascade(self):
+        clauses, num_vars, assigns = _chain(20)
+        outcome = RootPropagationKernel(clauses, num_vars).fixpoint(assigns)
+        assert not outcome.conflict
+        assert outcome.implied == list(range(2, 21))
+        assert outcome.propagations == 19
+
+    def test_caller_assignment_is_not_mutated(self):
+        clauses, num_vars, assigns = _chain(5)
+        before = list(assigns)
+        RootPropagationKernel(clauses, num_vars).fixpoint(assigns)
+        assert assigns == before
+
+    def test_conflict_detected(self):
+        # x1 forces x2 and -x2.
+        clauses = [[-1, 2], [-1, -2]]
+        assigns = [0, 1, 0]
+        outcome = RootPropagationKernel(clauses, 2).fixpoint(assigns)
+        assert outcome.conflict
+
+    def test_disagreeing_units_in_one_round(self):
+        # Both clauses become unit simultaneously and disagree on x3.
+        clauses = [[-1, 3], [-2, -3]]
+        assigns = [0, 1, 1, 0]
+        outcome = RootPropagationKernel(clauses, 3).fixpoint(assigns)
+        assert outcome.conflict
+
+    def test_max_rounds_truncates_legitimately(self):
+        clauses, num_vars, assigns = _chain(10)
+        outcome = RootPropagationKernel(clauses, num_vars).fixpoint(
+            assigns, max_rounds=3
+        )
+        assert not outcome.conflict
+        # One literal per round on a chain: truncation is not an error,
+        # the caller's watched pass finishes the cascade.
+        assert outcome.rounds == 3
+        assert outcome.implied == [2, 3, 4]
+
+    def test_rejects_unit_clauses(self):
+        with pytest.raises(ValueError):
+            RootPropagationKernel([[1]], 1)
+
+    def test_satisfied_clauses_are_skipped(self):
+        clauses = [[1, 2], [-1, 2]]
+        assigns = [0, 1, 0]
+        outcome = RootPropagationKernel(clauses, 2).fixpoint(assigns)
+        assert outcome.implied == [2]
+
+    def test_propagate_root_wrapper(self):
+        clauses, num_vars, assigns = _chain(4)
+        outcome = propagate_root(clauses, num_vars, assigns)
+        assert outcome is not None
+        assert outcome.implied == [2, 3, 4]
+        assert propagate_root([], 0, []) is None
+
+
+class TestSolverIntegration:
+    def _big_chain_cnf(self, length=400):
+        # Large enough to clear the kernel's clause-count gate; the unit
+        # root is added last so clause loading cannot pre-collapse it.
+        cnf = Cnf(num_vars=length)
+        for i in range(1, length):
+            cnf.add_clause([-i, i + 1])
+        cnf.add_clause([1])
+        return cnf
+
+    def test_kernel_fires_and_model_is_correct(self):
+        cnf = self._big_chain_cnf()
+        solver = IncrementalSolver(cnf, use_kernel=True)
+        result = solver.solve()
+        assert result.is_sat
+        assert solver._kernel_propagations > 0
+        assert cnf.check_assignment(result.model)
+        assert all(result.model[v] for v in range(1, cnf.num_vars + 1))
+
+    def test_kernel_and_cold_verdicts_agree(self):
+        cnf = self._big_chain_cnf()
+        with_kernel = IncrementalSolver(cnf, use_kernel=True).solve()
+        without = IncrementalSolver(cnf, use_kernel=False).solve()
+        cold = solve_cnf(cnf)
+        assert with_kernel.status == without.status == cold.status == "sat"
+        assert with_kernel.model == without.model == cold.model
+
+    def test_deep_chain_outruns_default_rounds(self):
+        # Deeper than DEFAULT_MAX_ROUNDS: the kernel legitimately stops
+        # early and the watched rescan must finish the cascade.
+        length = DEFAULT_MAX_ROUNDS * 8
+        cnf = self._big_chain_cnf(length)
+        result = IncrementalSolver(cnf, use_kernel=True).solve()
+        assert result.is_sat
+        assert all(result.model[v] for v in range(1, length + 1))
+
+    def test_root_conflict_stays_certifiable(self):
+        # The kernel leaves root conflicts to the watched pass so the
+        # DRUP path is byte-identical with and without it.
+        length = 300
+        cnf = Cnf(num_vars=length)
+        for i in range(1, length):
+            cnf.add_clause([-i, i + 1])
+        cnf.add_clause([-length])
+        cnf.add_clause([1])
+        from repro.witness import DrupProof, check_drup
+
+        result = IncrementalSolver(cnf, log_proof=True).solve()
+        assert result.is_unsat
+        assert check_drup(
+            cnf, DrupProof.from_solver_steps(result.proof)
+        ).ok

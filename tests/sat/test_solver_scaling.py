@@ -1,0 +1,111 @@
+"""Amortized clause-activity maintenance and the memory-budget-aware
+learned-clause limit (the per-conflict work regressions of the campaign
+slowdown)."""
+
+from repro.guard.deadline import current_deadline, use_deadline
+from repro.guard.memory import MemoryBudget
+from repro.sat import Cnf, solve_cnf
+from repro.sat.solver import _CLAUSE_BYTES, Solver, _Clause
+
+
+def _solver(num_vars=4, clauses=((1, 2), (3, 4))):
+    cnf = Cnf(num_vars=num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return Solver(cnf)
+
+
+def _with_learned(solver, count):
+    # Three literals: binary clauses are exempt from reduction sweeps.
+    for index in range(count):
+        clause = _Clause([1, 2, 3], learned=True)
+        clause.activity = float(index)
+        solver.learned.append(clause)
+    return solver.learned
+
+
+class TestBumpClauseIsConstantWork:
+    def test_bump_touches_only_the_bumped_clause(self):
+        solver = _solver()
+        learned = _with_learned(solver, 100)
+        solver.cla_inc = 2e20  # past the old rescale trigger
+        before = [clause.activity for clause in learned[1:]]
+        solver._bump_clause(learned[0])
+        # O(1): no global rescale sweep hides inside a single bump.
+        assert [clause.activity for clause in learned[1:]] == before
+        assert learned[0].activity == 0.0 + 2e20
+        assert solver._activity_rescales == 0
+
+    def test_bump_ignores_problem_clauses(self):
+        solver = _solver()
+        clause = solver.clauses[0]
+        solver._bump_clause(clause)
+        assert clause.activity == 0.0
+
+    def test_rescale_is_uniform_and_order_preserving(self):
+        solver = _solver()
+        learned = _with_learned(solver, 10)
+        solver.cla_inc = 2e20
+        order_before = sorted(
+            range(10), key=lambda i: learned[i].activity
+        )
+        solver._rescale_clause_activities()
+        assert solver._activity_rescales == 1
+        assert solver.cla_inc == 2e20 * 1e-20
+        order_after = sorted(
+            range(10), key=lambda i: learned[i].activity
+        )
+        assert order_before == order_after
+        assert all(clause.activity <= 1.0 for clause in learned)
+
+    def test_hard_unsat_instance_still_solves(self):
+        # End-to-end guard: activity bookkeeping changes must not alter
+        # verdicts on a conflict-heavy instance.
+        def var(i, j):
+            return 1 + i * 3 + j
+
+        clauses = [[var(i, j) for j in range(3)] for i in range(4)]
+        for j in range(3):
+            for i1 in range(4):
+                for i2 in range(i1 + 1, 4):
+                    clauses.append([-var(i1, j), -var(i2, j)])
+        cnf = Cnf(num_vars=12)
+        for clause in clauses:
+            cnf.add_clause(clause)
+        assert solve_cnf(cnf).is_unsat
+
+
+class TestLearnedLimit:
+    def test_default_without_budget_is_historical_4000(self):
+        assert current_deadline().memory is None
+        assert _solver()._learned_limit() == 4000
+
+    def test_budget_shrinks_the_limit(self):
+        budget = MemoryBudget(max_bytes=64 * (_CLAUSE_BYTES + 8 * 16))
+        deadline = current_deadline().derive(memory=budget)
+        with use_deadline(deadline):
+            limit = _solver()._learned_limit()
+        assert 256 <= limit < 4000
+
+    def test_floor_holds_when_budget_is_exhausted(self):
+        budget = MemoryBudget(max_bytes=1024)
+        budget.charged_bytes = 4096  # already over
+        deadline = current_deadline().derive(memory=budget)
+        with use_deadline(deadline):
+            assert _solver()._learned_limit() == 256
+
+    def test_large_budget_caps_at_4000(self):
+        budget = MemoryBudget.from_mb(4096)
+        deadline = current_deadline().derive(memory=budget)
+        with use_deadline(deadline):
+            assert _solver()._learned_limit() == 4000
+
+    def test_reduce_learned_honours_the_limit(self):
+        budget = MemoryBudget(max_bytes=600 * (_CLAUSE_BYTES + 8 * 16))
+        deadline = current_deadline().derive(memory=budget)
+        with use_deadline(deadline):
+            solver = _solver()
+            limit = solver._learned_limit()
+            _with_learned(solver, limit + 10)
+            solver._reduce_learned()
+            assert len(solver.learned) <= limit

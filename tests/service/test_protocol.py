@@ -148,3 +148,30 @@ class TestJobOptions:
         plain = job_options(job, certify=False, analyze=False)
         certified = job_options(job, certify=True, analyze=False)
         assert plain != certified
+
+    def test_key_schema_is_stable_and_backend_free(self):
+        # The cache-key vocabulary is frozen: verdicts are a function of
+        # (config, these options, registry version) only.  The SAT
+        # backend is verdict-equivalent by contract, so it must never
+        # appear here — a cache filled under one backend serves another.
+        job = Job.build(4, 2)
+        options = job_options(job, certify=True, analyze=True)
+        assert sorted(options) == [
+            "analyze", "bug_entry", "bug_kind", "bug_operand",
+            "certify", "criterion", "method",
+        ]
+        assert "sat_backend" not in options
+        assert "incremental_sat" not in options
+
+    def test_canonical_key_unmoved_by_ambient_backend(self):
+        from repro.core.keys import canonical_key
+        from repro.sat import use_backend
+
+        job = Job.build(4, 2)
+        config = {"n_rob": 4, "issue_width": 2}
+        options = job_options(job, certify=False, analyze=False)
+        baseline = canonical_key(config, options, registry_version="t")
+        with use_backend("reference"):
+            assert canonical_key(
+                config, options, registry_version="t"
+            ) == baseline
