@@ -5,6 +5,8 @@ Single-run examples::
     python -m repro --rob 64 --width 8
     python -m repro --rob 128 --width 4 --bug forward-wrong-source --entry 72
     python -m repro --rob 2 --width 1 --method positive_equality
+    python -m repro --rob 8 --width 2 --family mem
+    python -m repro --rob 4 --width 2 --family branch --bug dropped-flush --entry 2
     python -m repro --rob 16 --width 4 --max-conflicts 50000 --max-seconds 30
 
 Campaign mode (batches with retries, budget escalation and a crash-safe
@@ -59,6 +61,7 @@ import sys
 from .core import verify
 from .errors import AnalysisError, BudgetExhausted, ReproError
 from .processor.bugs import Bug, BugKind
+from .processor.families import family_names
 from .processor.params import ProcessorConfig
 
 
@@ -82,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="retire width l (default: same as the issue width)",
+    )
+    parser.add_argument(
+        "--family",
+        choices=family_names(),
+        default="reg-reg",
+        help=(
+            "workload family: reg-reg (the seed register-register model), "
+            "branch (speculative branches with misprediction recovery), "
+            "mem (loads/stores with store-to-load forwarding), or mixed "
+            "(both); default reg-reg"
+        ),
     )
     parser.add_argument(
         "--method",
@@ -237,6 +251,7 @@ def main(argv=None) -> int:
         n_rob=args.rob,
         issue_width=args.width,
         retire_width=args.retire_width,
+        family=args.family,
     )
     bug = None
     if args.bug is not None:
@@ -259,6 +274,11 @@ def main(argv=None) -> int:
             certify=args.certify,
             sat_backend=args.sat_backend,
         )
+    except ValueError as exc:
+        # Configuration-level rejections (e.g. a bug kind the workload
+        # family cannot express, or an unsound criterion for it).
+        print(f"python -m repro: error: {exc}", file=sys.stderr)
+        return 3
     except AnalysisError as exc:
         from .core.reporting import render_diagnostics
 

@@ -37,6 +37,7 @@ from typing import List, Optional
 
 from ..errors import CampaignError, JournalError, SolverError
 from ..processor.bugs import BugKind
+from ..processor.families import family_names
 from .faults import Fault, FaultPlan
 from .jobs import Job
 from .runner import CampaignRunner, DegradePolicy, RetryPolicy
@@ -79,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("disjunction", "case_split"),
         default="disjunction",
         help="correctness criterion for --grid jobs",
+    )
+    parser.add_argument(
+        "--family",
+        choices=family_names(),
+        default="reg-reg",
+        help="workload family for --grid jobs (default: reg-reg)",
     )
     parser.add_argument(
         "--bug",
@@ -191,9 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="K",
-        help="open a per-config-family circuit after K consecutive "
-        "INCONCLUSIVE results; the family's remaining jobs "
-        "short-circuit instead of burning their budgets (default: off)",
+        help="open a per-config-group circuit (same method/criterion/"
+        "width/workload family) after K consecutive INCONCLUSIVE "
+        "results; the group's remaining jobs short-circuit instead of "
+        "burning their budgets (default: off)",
     )
     parser.add_argument(
         "--hang-timeout",
@@ -261,6 +269,7 @@ def _collect_jobs(args: argparse.Namespace) -> Optional[List[Job]]:
                 Job.build(
                     n_rob,
                     width,
+                    family=args.family,
                     method=args.method,
                     criterion=args.criterion,
                     bug_kind=args.bug,

@@ -36,6 +36,8 @@ class Job:
     n_rob: int
     issue_width: int
     retire_width: Optional[int] = None
+    #: workload family (see :mod:`repro.processor.families`).
+    family: str = "reg-reg"
     method: str = "rewriting"
     criterion: str = "disjunction"
     bug_kind: Optional[str] = None
@@ -55,6 +57,7 @@ class Job:
             n_rob=self.n_rob,
             issue_width=self.issue_width,
             retire_width=self.retire_width,
+            family=self.family,
         )
 
     def bug(self) -> Optional[Bug]:
@@ -62,16 +65,18 @@ class Job:
             return None
         return Bug(self.bug_kind, entry=self.bug_entry, operand=self.bug_operand)
 
-    def family(self) -> str:
-        """Config-family key for the circuit breaker.
+    def breaker_key(self) -> str:
+        """Config-sibling key for the circuit breaker.
 
-        Jobs in one family differ only in reorder-buffer size — the axis
-        the paper's scaling tables sweep.  When K siblings in a row end
-        INCONCLUSIVE, the larger configurations in the family are
+        Jobs sharing one key differ only in reorder-buffer size — the
+        axis the paper's scaling tables sweep.  When K siblings in a row
+        end INCONCLUSIVE, the larger configurations in the group are
         hopeless too (cost grows monotonically with ``n_rob``), so the
         breaker short-circuits them instead of burning their budgets.
         """
         parts = [self.method, f"k{self.issue_width}", self.criterion]
+        if self.family != "reg-reg":
+            parts.append(self.family)
         if self.retire_width is not None:
             parts.append(f"l{self.retire_width}")
         if self.bug_kind is not None:
@@ -84,6 +89,7 @@ class Job:
             "n_rob": self.n_rob,
             "issue_width": self.issue_width,
             "retire_width": self.retire_width,
+            "family": self.family,
             "method": self.method,
             "criterion": self.criterion,
             "bug_kind": self.bug_kind,
@@ -123,6 +129,9 @@ class Job:
             retire = kwargs.get("retire_width")
             if retire is not None and retire != issue_width:
                 job_id += f"-l{retire}"
+            family = kwargs.get("family", "reg-reg")
+            if family != "reg-reg":
+                job_id += f"-{family}"
             bug_kind = kwargs.get("bug_kind")
             if bug_kind is not None:
                 job_id += f"-{bug_kind}@{kwargs.get('bug_entry', 1)}"

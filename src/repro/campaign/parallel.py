@@ -352,7 +352,7 @@ class ParallelCampaignExecutor:
             kept: deque = deque()
             while self._pending:
                 job = self._pending.popleft()
-                if self._breaker.is_open(job.family()):
+                if self._breaker.is_open(job.breaker_key()):
                     self._on_finish(job, self._short_circuit(job))
                     finished += 1
                 else:

@@ -240,7 +240,7 @@ class CampaignRunner:
             journal writer either way (see :mod:`repro.campaign.parallel`).
         breaker_threshold: open a per-config-family circuit after this
             many *consecutive* ``INCONCLUSIVE`` outcomes in the family
-            (see :meth:`repro.campaign.jobs.Job.family`); the family's
+            (see :meth:`repro.campaign.jobs.Job.breaker_key`); the family's
             remaining jobs short-circuit to ``INCONCLUSIVE`` without
             running and one ``circuit_open`` event is journaled.
             ``None`` (the default) disables the breaker.
@@ -486,7 +486,7 @@ class CampaignRunner:
             return
         if result.detail.startswith(SHORT_CIRCUIT_PREFIX):
             return
-        family = job.family()
+        family = job.breaker_key()
         opened = self._breaker.record(
             family, result.status == "INCONCLUSIVE"
         )
@@ -511,7 +511,7 @@ class CampaignRunner:
             status="INCONCLUSIVE",
             method=job.method,
             attempts=0,
-            detail=f"{SHORT_CIRCUIT_PREFIX} for family {job.family()!r}",
+            detail=f"{SHORT_CIRCUIT_PREFIX} for family {job.breaker_key()!r}",
         )
 
     def _run_sequential(
@@ -555,7 +555,7 @@ class CampaignRunner:
     ) -> None:
         for job in to_run:
             if self._breaker is not None and self._breaker.is_open(
-                job.family()
+                job.breaker_key()
             ):
                 self._finish_job(
                     job, self._short_circuit_result(job), journal, results

@@ -38,14 +38,20 @@ def config_dict(config: Union[ProcessorConfig, Mapping[str, Any]]) -> dict:
             "n_rob": config.n_rob,
             "issue_width": config.issue_width,
             "retire_width": config.retire_width,
+            "family": config.family,
         }
     data = dict(config)
     # Normalize through the dataclass so defaulting (retire_width=None
-    # means "same as issue width") cannot split the key space.
+    # means "same as issue width", absent family means the default
+    # register-register family) cannot split the key space.
+    kwargs = {}
+    if data.get("family") is not None:
+        kwargs["family"] = str(data["family"])
     return config_dict(ProcessorConfig(
         n_rob=int(data["n_rob"]),
         issue_width=int(data["issue_width"]),
         retire_width=data.get("retire_width"),
+        **kwargs,
     ))
 
 
@@ -59,7 +65,9 @@ def canonical_key(
     Args:
         config: a :class:`~repro.processor.params.ProcessorConfig` or an
             equivalent mapping (``n_rob`` / ``issue_width`` /
-            ``retire_width``); both forms produce the same key.
+            ``retire_width`` / ``family``); both forms produce the same
+            key, and an absent ``family`` means the default
+            register-register family.
         options: encoding/verification options that change the verdict
             or its evidence (``method``, ``criterion``, bug fields,
             ``certify``, ...).  ``None`` values are dropped; insertion

@@ -111,9 +111,12 @@ class Expr:
         return self is not other
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        from .printer import to_sexpr
+        # Depth-clipped: the full S-expression of a processor-sized term
+        # is exponentially large (the DAG is rendered as a tree), so it
+        # must never be materialized just to display a one-liner.
+        from .printer import clip_sexpr
 
-        text = to_sexpr(self)
+        text = clip_sexpr(self, max_depth=4)
         if len(text) > 120:
             text = text[:117] + "..."
         return f"<{type(self).__name__} {text}>"

@@ -22,7 +22,7 @@ from typing import Dict, List
 from .ast import Expr, FALSE, TRUE
 from .traversal import iter_dag
 
-__all__ = ["to_sexpr", "pretty"]
+__all__ = ["to_sexpr", "clip_sexpr", "pretty"]
 
 
 def to_sexpr(root: Expr) -> str:
@@ -64,6 +64,45 @@ def _render(node: Expr, text: Dict[Expr, str]) -> str:
         return "(" + " ".join(["and"] + [text[a] for a in node.args]) + ")"
     if kind == "or":
         return "(" + " ".join(["or"] + [text[a] for a in node.args]) + ")"
+    raise TypeError(f"unknown node kind {kind!r}")
+
+
+def clip_sexpr(root: Expr, max_depth: int = 4) -> str:
+    """Depth-clipped S-expression for ``repr`` and log lines.
+
+    ``to_sexpr`` renders the DAG as a *tree*, so on deeply shared
+    processor-sized formulas the full string is exponentially large —
+    building it just to truncate to a one-line repr can dominate the
+    whole process (pytest's assertion reprs walk result objects holding
+    such terms).  This variant elides everything below ``max_depth`` as
+    ``...`` and never materializes more than the clipped text.
+    """
+    kind = root.kind
+    if kind == "const":
+        return "true" if root.value else "false"
+    if kind == "tvar":
+        return root.name
+    if kind == "bvar":
+        return "$" + root.name
+    if max_depth <= 0:
+        return "..."
+    inner = [clip_sexpr(child, max_depth - 1) for child in root.children]
+    if kind == "uf":
+        return "(" + " ".join([root.symbol] + inner) + ")"
+    if kind == "up":
+        return "(" + " ".join(["$" + root.symbol] + inner) + ")"
+    if kind in ("tite", "fite"):
+        return "(" + " ".join(["ite"] + inner) + ")"
+    if kind == "read":
+        return "(" + " ".join(["read"] + inner) + ")"
+    if kind == "write":
+        return "(" + " ".join(["write"] + inner) + ")"
+    if kind == "eq":
+        return "(" + " ".join(["="] + inner) + ")"
+    if kind == "not":
+        return "(" + " ".join(["not"] + inner) + ")"
+    if kind in ("and", "or"):
+        return "(" + " ".join([kind] + inner) + ")"
     raise TypeError(f"unknown node kind {kind!r}")
 
 

@@ -6,12 +6,20 @@ for one of the data operands of the 72nd instruction in the ROB" of a
 computation slice in seconds, while the Positive-Equality-only flow runs
 out of memory.  This module defines that bug plus a family of related
 control defects, all of which must be caught by verification.
+
+The branch and load-store workload families
+(:mod:`repro.processor.families`) add four defect classes of their own:
+wrong-path retirement, a dropped misprediction flush, stale store-to-load
+forwarding, and out-of-program-order store commit.  Those kinds only make
+sense in a design that actually hosts the corresponding logic, so
+:meth:`Bug.check_family` rejects, say, a ``stale-load-forward`` bug in a
+``reg-reg`` configuration instead of silently verifying an unbugged
+design.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 __all__ = ["Bug", "BugKind", "forwarding_bug"]
 
@@ -39,6 +47,23 @@ class BugKind:
     #: the PC is incremented once regardless of how many instructions were
     #: fetched.
     PC_SINGLE_INCREMENT = "pc-single-increment"
+    #: (branch families) one retirement slot drops the wrong-path guard:
+    #: the entry retires — and writes back — in the same cycle an older
+    #: mispredicted branch retires, even though it sits on the wrong path.
+    WRONG_PATH_RETIRE = "wrong-path-retire"
+    #: (branch families) the ROB-flush recovery skips one entry: its Valid
+    #: bit survives the squash after an older branch retires mispredicted,
+    #: so the wrong-path instruction later completes and corrupts state.
+    DROPPED_FLUSH = "dropped-flush"
+    #: (memory families) the store-to-load forwarding of one load entry
+    #: returns the data of the *previous* matching store instead of the
+    #: latest preceding one.
+    STALE_LOAD_FORWARD = "stale-load-forward"
+    #: (memory families) the data-memory commit of one retirement slot is
+    #: sequenced before its older neighbor's, letting a younger store
+    #: reach memory before an older one to the same address (needs
+    #: ``entry >= 2`` and ``retire_width >= entry``).
+    STORE_ORDER = "store-order"
 
     ALL = (
         FORWARD_WRONG_SOURCE,
@@ -48,7 +73,16 @@ class BugKind:
         RETIRE_OUT_OF_ORDER,
         RETIRE_IGNORES_VALID,
         PC_SINGLE_INCREMENT,
+        WRONG_PATH_RETIRE,
+        DROPPED_FLUSH,
+        STALE_LOAD_FORWARD,
+        STORE_ORDER,
     )
+
+    #: kinds whose defect logic only exists when the family has branches.
+    NEEDS_BRANCHES = (WRONG_PATH_RETIRE, DROPPED_FLUSH)
+    #: kinds whose defect logic only exists when the family has memory.
+    NEEDS_MEMORY = (STALE_LOAD_FORWARD, STORE_ORDER)
 
 
 @dataclass(frozen=True)
@@ -72,6 +106,28 @@ class Bug:
             raise ValueError("bug entry is 1-based")
         if self.operand not in (1, 2):
             raise ValueError("operand must be 1 or 2")
+
+    def check_family(self, family) -> None:
+        """Reject a defect the given family's logic cannot express.
+
+        Args:
+            family: a :class:`repro.processor.families.Family`.
+
+        Raises:
+            ValueError: when the bug targets branch (or memory) logic and
+                the family has none — planting it would be a silent no-op
+                and the "buggy" design would verify PROVED.
+        """
+        if self.kind in BugKind.NEEDS_BRANCHES and not family.has_branches:
+            raise ValueError(
+                f"bug {self.kind!r} targets branch logic, but family "
+                f"{family.name!r} has no branches"
+            )
+        if self.kind in BugKind.NEEDS_MEMORY and not family.has_memory:
+            raise ValueError(
+                f"bug {self.kind!r} targets load-store logic, but family "
+                f"{family.name!r} has no data memory"
+            )
 
     def describe(self) -> str:
         return f"{self.kind} at ROB entry {self.entry}, operand {self.operand}"

@@ -6,15 +6,27 @@ Specification side: the abstraction function applied to the *initial*
 implementation state, followed by 0..k steps of the specification.
 
 The correctness criterion (paper Sect. 5) states that the user-visible
-state — PC and Register File — is updated in sync by 0, 1, ... or k
-instructions:
+state — the PC, the Register File and, in the memory workload families,
+the Data Memory — is updated in sync by 0, 1, ... or k instructions:
 
-    OR_{m=0..k}  equal_PC,m  AND  equal_RegFile,m
+    OR_{m=0..k}  equal_PC,m  AND  equal_RegFile,m  [AND equal_DMem,m]
 
 A stronger fetch-count case-split criterion is available as
 ``criterion="case_split"``: for each m, *if* exactly m instructions were
 fetched *then* the m-instruction equalities must hold.  Both criteria are
-valid for correct designs; the paper uses the disjunction.
+valid for the register-register and memory families; for the *branch*
+families only the disjunction is sound — a fetched instruction may be a
+squashed wrong-path one (or a taken branch redirecting the PC away from
+the fall-through chain), so "m instructions fetched" no longer implies
+the m-step equality, and :func:`build_correctness_formula` rejects the
+combination instead of producing a falsifiable formula for a correct
+design.
+
+In the branch families both the implementation-side and the
+specification-side PC are observed *after* the abstraction function has
+run: flushing completes the in-flight taken branches and redirects the PC
+accordingly (for ``reg-reg`` flushing never touches the PC, so the
+observation points coincide with the seed model's).
 """
 
 from __future__ import annotations
@@ -52,6 +64,10 @@ class DiagramArtifacts:
     #: 1..N) completed but before the fetch slots completed — the seam the
     #: rewriting engine replaces with a fresh variable.
     rf_impl_mid: Term = None
+    #: implementation-side Data Memory states at the same two observation
+    #: points (memory families; ``None`` otherwise).
+    dmem_impl: Optional[Term] = None
+    dmem_impl_mid: Optional[Term] = None
     #: specification side: states after the abstraction function and after
     #: each of 0..k specification steps.
     spec_states: List[SpecState] = field(default_factory=list)
@@ -67,6 +83,12 @@ class DiagramArtifacts:
     @property
     def initial_rf(self) -> Term:
         return self.proc.initial_state[self.proc.rf]
+
+    @property
+    def initial_dmem(self) -> Optional[Term]:
+        if self.proc.dmem is None:
+            return None
+        return self.proc.initial_state[self.proc.dmem]
 
 
 def run_diagram(
@@ -85,23 +107,35 @@ def run_diagram(
 
         n = config.n_rob
         k = config.issue_width
+        family = config.family_spec
+        has_mem = family.has_memory
 
         # Implementation side: one regular step, then flush in program order.
         impl_sim = make_simulator(proc)
         impl_sim.step()
-        artifacts.pc_impl = impl_sim.peek(proc.pc)
         flush_range(impl_sim, proc, 1, n)
         artifacts.rf_impl_mid = impl_sim.peek(proc.rf)
+        if has_mem:
+            artifacts.dmem_impl_mid = impl_sim.peek(proc.dmem)
         flush_range(impl_sim, proc, n + 1, n + k)
+        # The PC is observed after the abstraction function: for branch
+        # families flushing redirects it past in-flight taken branches
+        # (a no-op for the other families, where the peeks coincide with
+        # the seed model's post-step observation).
+        artifacts.pc_impl = impl_sim.peek(proc.pc)
         artifacts.rf_impl = impl_sim.peek(proc.rf)
+        if has_mem:
+            artifacts.dmem_impl = impl_sim.peek(proc.dmem)
 
         # Specification side: flush the initial state, then run the ISA.
         spec_sim = make_simulator(proc)
         flush_range(spec_sim, proc, 1, n + k)
         spec0 = SpecState(
-            pc=artifacts.initial_pc, reg_file=spec_sim.peek(proc.rf)
+            pc=spec_sim.peek(proc.pc),
+            reg_file=spec_sim.peek(proc.rf),
+            dmem=spec_sim.peek(proc.dmem) if has_mem else None,
         )
-        artifacts.spec_states = spec_trajectory(spec0, k)
+        artifacts.spec_states = spec_trajectory(spec0, k, family)
 
         nd_fetch = [builder.bvar(f"NDFetch{j + 1}") for j in range(k)]
         artifacts.fetch_conditions = [
@@ -122,12 +156,23 @@ def build_correctness_formula(
     """The EUFM correctness formula for the simulated diagram."""
     if criterion not in CRITERIA:
         raise ValueError(f"unknown criterion {criterion!r}; use one of {CRITERIA}")
+    family = artifacts.config.family_spec
+    if criterion == "case_split" and family.has_branches:
+        raise ValueError(
+            "the case_split criterion is unsound for branch families: a "
+            "fetched instruction may be wrong-path (or a taken branch), so "
+            "fetch counts do not determine the specification step count; "
+            "use criterion='disjunction'"
+        )
     k = artifacts.config.issue_width
     conjuncts = []
     for m, spec_state in enumerate(artifacts.spec_states):
         equal_pc = builder.eq(artifacts.pc_impl, spec_state.pc)
         equal_rf = builder.eq(artifacts.rf_impl, spec_state.reg_file)
-        conjuncts.append(builder.and_(equal_pc, equal_rf))
+        parts = [equal_pc, equal_rf]
+        if family.has_memory:
+            parts.append(builder.eq(artifacts.dmem_impl, spec_state.dmem))
+        conjuncts.append(builder.and_(*parts))
 
     if criterion == "disjunction":
         return builder.or_(*conjuncts)

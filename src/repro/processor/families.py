@@ -1,0 +1,132 @@
+"""Workload families: which instruction classes the processor hosts.
+
+The paper's OOO design (Velev, DATE 2002) executes only register–register
+ALU instructions.  A *workload family* extends the specification and the
+implementation in lock step with realistic control and memory logic:
+
+* ``reg-reg`` — the paper's design, unchanged;
+* ``branch`` — adds branch instructions with a speculative (predict
+  not-taken) NextPC, misprediction detection at retirement, and ROB-flush
+  recovery (wrong-path squash + PC redirect);
+* ``mem`` — adds load and store instructions against a data memory
+  modeled with uninterpreted ``read``/``write`` functions, with in-order
+  store commit at retirement and store-to-load forwarding for loads
+  executing out of order;
+* ``mixed`` — both extensions together.
+
+Instruction kinds are *symbolic*: uninterpreted predicates of the PC
+decide whether a fetched instruction is a branch/load/store, and fresh
+Boolean variables play that role for the instructions initially in the
+ROB.  The kind predicates are made mutually exclusive by precedence
+(branch beats load beats store; an instruction matching none is a
+register–register ALU op), so each family's state space strictly contains
+the previous one and every ``reg-reg`` theorem remains a special case.
+
+The registry is deliberately closed: family names are part of the
+verification verdict's identity (they flow into
+:func:`repro.core.keys.canonical_key`), so adding a family is a
+cache-invalidating, version-visible event like editing a rewrite rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "Family",
+    "FAMILIES",
+    "DEFAULT_FAMILY",
+    "family_names",
+    "get_family",
+]
+
+
+@dataclass(frozen=True)
+class Family:
+    """One workload family: a named set of instruction-class capabilities."""
+
+    name: str
+    #: branches with speculative NextPC + retirement-time recovery.
+    has_branches: bool
+    #: loads/stores against a data memory with store-to-load forwarding.
+    has_memory: bool
+    description: str
+    #: seeded :class:`~repro.processor.bugs.BugKind` values whose defect
+    #: logic this family actually exercises (used by campaigns/tests to
+    #: drive every family through both PROVED and BUG_FOUND paths).
+    bug_kinds: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.description}"
+
+
+def _build_registry() -> Dict[str, Family]:
+    # Imported lazily at build time to avoid a params <-> bugs cycle.
+    from .bugs import BugKind
+
+    base_bugs = (
+        BugKind.FORWARD_WRONG_SOURCE,
+        BugKind.FORWARD_STALE_RESULT,
+        BugKind.EXECUTE_IGNORES_HAZARD,
+        BugKind.RETIRE_WITHOUT_RESULT,
+        BugKind.RETIRE_OUT_OF_ORDER,
+        BugKind.RETIRE_IGNORES_VALID,
+        BugKind.PC_SINGLE_INCREMENT,
+    )
+    branch_bugs = (BugKind.WRONG_PATH_RETIRE, BugKind.DROPPED_FLUSH)
+    mem_bugs = (BugKind.STALE_LOAD_FORWARD, BugKind.STORE_ORDER)
+    families = (
+        Family(
+            name="reg-reg",
+            has_branches=False,
+            has_memory=False,
+            description="register-register ALU instructions only "
+            "(the paper's design)",
+            bug_kinds=base_bugs,
+        ),
+        Family(
+            name="branch",
+            has_branches=True,
+            has_memory=False,
+            description="adds branches: speculative NextPC, misprediction "
+            "detected at retirement, ROB-flush recovery",
+            bug_kinds=base_bugs + branch_bugs,
+        ),
+        Family(
+            name="mem",
+            has_branches=False,
+            has_memory=True,
+            description="adds loads/stores: uninterpreted data memory, "
+            "in-order store commit, store-to-load forwarding",
+            bug_kinds=base_bugs + mem_bugs,
+        ),
+        Family(
+            name="mixed",
+            has_branches=True,
+            has_memory=True,
+            description="branches and loads/stores together",
+            bug_kinds=base_bugs + branch_bugs + mem_bugs,
+        ),
+    )
+    return {family.name: family for family in families}
+
+
+FAMILIES: Dict[str, Family] = _build_registry()
+
+DEFAULT_FAMILY = "reg-reg"
+
+
+def family_names() -> Tuple[str, ...]:
+    """All registered family names, in registry order."""
+    return tuple(FAMILIES)
+
+
+def get_family(name: str) -> Family:
+    """Look up a family by name; raises :class:`ValueError` when unknown."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload family {name!r}; use one of {tuple(FAMILIES)}"
+        ) from None

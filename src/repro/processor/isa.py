@@ -1,25 +1,45 @@
 """The non-pipelined specification processor (the ISA).
 
-User-visible state: the PC and the Register File.  One step fetches the
-instruction addressed by the PC from the read-only Instruction Memory,
-increments the PC through the ``NextPC`` uninterpreted function, computes
-the ALU result of the two source operands, and writes it to the
-destination register when the instruction's Valid bit is true
-(paper, end of Sect. 3).
+User-visible state: the PC, the Register File and — in the memory
+workload families — the Data Memory.  One step fetches the instruction
+addressed by the PC from the read-only Instruction Memory, increments the
+PC through the ``NextPC`` uninterpreted function, computes the
+instruction's result, and writes it to the destination register when the
+instruction's Valid bit is true (paper, end of Sect. 3).
 
 The Instruction Memory is read-only and shared with the implementation, so
 its fields are modeled as uninterpreted functions of the PC:
 ``InstrOp``, ``InstrDest``, ``InstrSrc1``, ``InstrSrc2`` and the
 uninterpreted predicate ``InstrValid``.
+
+Workload families (:mod:`repro.processor.families`) extend the ISA:
+
+* *branch*: the uninterpreted predicate ``InstrIsBranch`` marks branches.
+  A valid taken branch (outcome ``BranchTaken``, an uninterpreted
+  predicate of the opcode and both operands) redirects the PC to the
+  uninterpreted ``BranchTarget`` instead of the ``NextPC`` fall-through;
+  branches write no register.
+* *mem*: ``InstrIsLoad`` / ``InstrIsStore`` mark memory operations.  The
+  effective address is ``MemAddr(op)`` — an uninterpreted function of the
+  opcode field alone, i.e. the address is decoded from the instruction
+  (immediate-style addressing), not computed from register operands.  A
+  load writes ``read(DMem, addr)`` to its destination register; a store
+  writes its second operand to ``write(DMem, addr, ·)`` and no register.
+
+Kind predicates are prioritized (branch beats load beats store;
+otherwise the instruction is a register–register ALU op), so the kinds
+are mutually exclusive by construction and the ``reg-reg`` semantics is
+the all-predicates-false special case of every family.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..eufm import builder
-from ..eufm.ast import Formula, Term
+from ..eufm.ast import FALSE, Formula, Term
+from .families import Family, get_family
 
 __all__ = [
     "ALU",
@@ -29,10 +49,19 @@ __all__ = [
     "INSTR_SRC1",
     "INSTR_SRC2",
     "INSTR_VALID",
+    "INSTR_IS_BRANCH",
+    "INSTR_IS_LOAD",
+    "INSTR_IS_STORE",
+    "BRANCH_TAKEN",
+    "BRANCH_TARGET",
+    "MEM_ADDR",
     "SpecState",
     "spec_step",
     "spec_trajectory",
     "fetch_fields",
+    "fetch_kinds",
+    "kind_precedence",
+    "writes_reg_file",
 ]
 
 #: uninterpreted symbols shared by the specification and implementation.
@@ -43,14 +72,28 @@ INSTR_DEST = "InstrDest"
 INSTR_SRC1 = "InstrSrc1"
 INSTR_SRC2 = "InstrSrc2"
 INSTR_VALID = "InstrValid"
+INSTR_IS_BRANCH = "InstrIsBranch"
+INSTR_IS_LOAD = "InstrIsLoad"
+INSTR_IS_STORE = "InstrIsStore"
+BRANCH_TAKEN = "BranchTaken"
+BRANCH_TARGET = "BranchTarget"
+MEM_ADDR = "MemAddr"
+
+_REG_REG = get_family("reg-reg")
 
 
 @dataclass(frozen=True)
 class SpecState:
-    """The user-visible architectural state."""
+    """The user-visible architectural state.
+
+    ``dmem`` is ``None`` for families without a data memory, keeping the
+    ``reg-reg`` state shape (and every formula built from it) identical to
+    the seed model.
+    """
 
     pc: Term
     reg_file: Term
+    dmem: Optional[Term] = None
 
 
 def fetch_fields(pc: Term) -> Tuple[Formula, Term, Term, Term, Term]:
@@ -64,22 +107,106 @@ def fetch_fields(pc: Term) -> Tuple[Formula, Term, Term, Term, Term]:
     )
 
 
-def spec_step(state: SpecState) -> SpecState:
+def kind_precedence(
+    family: Family,
+    is_branch_raw: Formula,
+    is_load_raw: Formula,
+    is_store_raw: Formula,
+) -> Tuple[Formula, Formula, Formula]:
+    """Mutually exclusive kind flags (branch, load, store) by precedence.
+
+    Families without a capability pin the corresponding raw flag to
+    ``FALSE`` before prioritization, so the flags — and everything built
+    from them — collapse structurally to the smaller family's formulas.
+    """
+    isb = is_branch_raw if family.has_branches else FALSE
+    if family.has_memory:
+        not_isb = builder.not_(isb)
+        isl = builder.and_(not_isb, is_load_raw)
+        iss = builder.and_(not_isb, builder.not_(is_load_raw), is_store_raw)
+    else:
+        isl = FALSE
+        iss = FALSE
+    return isb, isl, iss
+
+
+def fetch_kinds(
+    pc: Term, family: Family
+) -> Tuple[Formula, Formula, Formula]:
+    """The prioritized kind flags of the instruction at ``pc``.
+
+    The raw predicates are only applied for capabilities the family has:
+    ``kind_precedence`` would discard the others anyway, and interning
+    them would make the smaller families build nodes the seed model
+    never did (the perf-smoke baseline counts every node).
+    """
+    isb_raw = (
+        builder.up(INSTR_IS_BRANCH, [pc]) if family.has_branches else FALSE
+    )
+    if family.has_memory:
+        isl_raw = builder.up(INSTR_IS_LOAD, [pc])
+        iss_raw = builder.up(INSTR_IS_STORE, [pc])
+    else:
+        isl_raw = FALSE
+        iss_raw = FALSE
+    return kind_precedence(family, isb_raw, isl_raw, iss_raw)
+
+
+def writes_reg_file(isb: Formula, iss: Formula) -> Formula:
+    """Does an instruction with these kind flags write its Dest register?
+
+    Branches and stores do not; loads and ALU instructions do.  For the
+    ``reg-reg`` family both flags are ``FALSE`` and this collapses to
+    ``TRUE``, keeping every seed-model context formula unchanged.
+    """
+    return builder.and_(builder.not_(isb), builder.not_(iss))
+
+
+def spec_step(state: SpecState, family: Optional[Family] = None) -> SpecState:
     """Execute one architectural instruction symbolically."""
+    family = family or _REG_REG
     valid, op, dest, src1, src2 = fetch_fields(state.pc)
+    isb, isl, iss = fetch_kinds(state.pc, family)
     operand1 = builder.read(state.reg_file, src1)
     operand2 = builder.read(state.reg_file, src2)
     result = builder.uf(ALU, [op, operand1, operand2])
+
+    data = result
+    next_dmem = state.dmem
+    if family.has_memory:
+        if state.dmem is None:
+            raise ValueError(
+                f"family {family.name!r} needs a data memory in SpecState"
+            )
+        addr = builder.uf(MEM_ADDR, [op])
+        data = builder.ite_term(isl, builder.read(state.dmem, addr), result)
+        next_dmem = builder.ite_term(
+            builder.and_(valid, iss),
+            builder.write(state.dmem, addr, operand2),
+            state.dmem,
+        )
+
     next_rf = builder.ite_term(
-        valid, builder.write(state.reg_file, dest, result), state.reg_file
+        builder.and_(valid, writes_reg_file(isb, iss)),
+        builder.write(state.reg_file, dest, data),
+        state.reg_file,
     )
+
     next_pc = builder.uf(NEXT_PC, [state.pc])
-    return SpecState(pc=next_pc, reg_file=next_rf)
+    if family.has_branches:
+        taken = builder.up(BRANCH_TAKEN, [op, operand1, operand2])
+        target = builder.uf(BRANCH_TARGET, [op, operand1, operand2])
+        next_pc = builder.ite_term(
+            builder.and_(valid, isb, taken), target, next_pc
+        )
+    return SpecState(pc=next_pc, reg_file=next_rf, dmem=next_dmem)
 
 
-def spec_trajectory(initial: SpecState, steps: int) -> List[SpecState]:
+def spec_trajectory(
+    initial: SpecState, steps: int, family: Optional[Family] = None
+) -> List[SpecState]:
     """States after 0, 1, .., ``steps`` architectural instructions."""
     states = [initial]
     for _ in range(steps):
-        states.append(spec_step(states[-1]))
+        states.append(spec_step(states[-1], family))
     return states

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .families import DEFAULT_FAMILY, Family, get_family
+
 __all__ = ["ProcessorConfig"]
 
 
@@ -17,11 +19,16 @@ class ProcessorConfig:
         issue_width: instructions fetched per cycle (k).
         retire_width: instructions retired per cycle (l); the paper assumes
             ``l == k`` throughout and so does the default.
+        family: workload family name (see
+            :mod:`repro.processor.families`): ``reg-reg`` (the paper's
+            ALU-only design, the default), ``branch``, ``mem`` or
+            ``mixed``.
     """
 
     n_rob: int
     issue_width: int
     retire_width: Optional[int] = None
+    family: str = DEFAULT_FAMILY
 
     def __post_init__(self) -> None:
         if self.n_rob < 1:
@@ -37,14 +44,23 @@ class ProcessorConfig:
             object.__setattr__(self, "retire_width", self.issue_width)
         if self.retire_width < 1 or self.retire_width > self.n_rob:
             raise ValueError("retire width must be in [1, n_rob]")
+        get_family(self.family)  # raises on unknown names
 
     @property
     def total_slots(self) -> int:
         """ROB latching capacity: N initial entries plus k fetch slots."""
         return self.n_rob + self.issue_width
 
+    @property
+    def family_spec(self) -> Family:
+        """The resolved :class:`~repro.processor.families.Family`."""
+        return get_family(self.family)
+
     def describe(self) -> str:
-        return (
+        text = (
             f"OOO processor: {self.n_rob}-entry ROB, "
             f"issue width {self.issue_width}, retire width {self.retire_width}"
         )
+        if self.family != DEFAULT_FAMILY:
+            text += f", family {self.family}"
+        return text

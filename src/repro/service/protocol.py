@@ -3,7 +3,8 @@
 A *submit request* is a JSON document describing a batch of
 verification jobs — either an explicit ``configs`` list or a ``grid``
 string (the campaign CLI's ``NxK,...`` shorthand), plus shared
-method/criterion/bug options, certification and analysis switches, and
+method/criterion/family/bug options (``family`` may also be set per
+config), certification and analysis switches, and
 optional per-attempt base budgets.  :meth:`SubmitRequest.parse`
 validates it into campaign :class:`~repro.campaign.jobs.Job` objects;
 :func:`job_options` distills the verdict-relevant options of one job
@@ -23,6 +24,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from ..campaign.jobs import Job
 from ..errors import CampaignError
 from ..processor.bugs import BugKind
+from ..processor.families import family_names
 
 __all__ = ["ServiceError", "SubmitRequest", "job_options", "parse_grid"]
 
@@ -96,7 +98,7 @@ class SubmitRequest:
         if not isinstance(payload, Mapping):
             raise ServiceError(400, "request body must be a JSON object")
         unknown = set(payload) - {
-            "configs", "grid", "method", "criterion", "bug",
+            "configs", "grid", "method", "criterion", "family", "bug",
             "certify", "analyze", "client", "budgets",
         }
         if unknown:
@@ -113,6 +115,12 @@ class SubmitRequest:
             raise ServiceError(
                 400,
                 f"unknown criterion {criterion!r}; use one of {_CRITERIA}",
+            )
+        family = payload.get("family", "reg-reg")
+        if not isinstance(family, str) or family not in family_names():
+            raise ServiceError(
+                400,
+                f"unknown family {family!r}; use one of {family_names()}",
             )
         bug = payload.get("bug")
         bug_fields: Dict[str, Any] = {}
@@ -159,12 +167,21 @@ class SubmitRequest:
                     raise ServiceError(
                         400,
                         "each config needs n_rob and issue_width "
-                        "(optionally retire_width)",
+                        "(optionally retire_width, family)",
+                    )
+                item_family = item.get("family", family)
+                if not isinstance(item_family, str) \
+                        or item_family not in family_names():
+                    raise ServiceError(
+                        400,
+                        f"unknown family {item_family!r}; "
+                        f"use one of {family_names()}",
                     )
                 configs.append({
                     "n_rob": int(item["n_rob"]),
                     "issue_width": int(item["issue_width"]),
                     "retire_width": item.get("retire_width"),
+                    "family": item_family,
                 })
         grid = payload.get("grid")
         if grid is not None:
@@ -173,7 +190,7 @@ class SubmitRequest:
             try:
                 for n_rob, width in parse_grid(grid):
                     configs.append({"n_rob": n_rob, "issue_width": width,
-                                    "retire_width": None})
+                                    "retire_width": None, "family": family})
             except CampaignError as exc:
                 raise ServiceError(400, str(exc))
         if not configs:
@@ -195,6 +212,7 @@ class SubmitRequest:
                     spec["n_rob"],
                     spec["issue_width"],
                     retire_width=spec["retire_width"],
+                    family=spec["family"],
                     method=method,
                     criterion=criterion,
                     **bug_fields,

@@ -374,7 +374,7 @@ class SessionManager:
                 view.result = entry.result
                 self.metrics.inc("service.cache.hits")
             elif self._breaker is not None and self._breaker.is_open(
-                job.family()
+                job.breaker_key()
             ):
                 view.state = "short-circuited"
                 view.result = JobResult(
@@ -383,7 +383,7 @@ class SessionManager:
                     method=job.method,
                     attempts=0,
                     detail=f"{SHORT_CIRCUIT_PREFIX} for family "
-                           f"{job.family()!r} (service breaker)",
+                           f"{job.breaker_key()!r} (service breaker)",
                 ).to_dict()
                 self.metrics.inc("service.breaker_short_circuits")
             else:
@@ -587,7 +587,7 @@ class SessionManager:
                 self.metrics.inc("service.cache.stored")
         if self._breaker is not None and not short_circuited:
             self._breaker.record(
-                job.family(), result.status == "INCONCLUSIVE"
+                job.breaker_key(), result.status == "INCONCLUSIVE"
             )
 
     # -- queries --------------------------------------------------------

@@ -33,6 +33,7 @@ from typing import List, Optional
 
 from ..errors import BudgetExhausted, ReproError, WitnessError
 from ..processor.bugs import Bug, BugKind
+from ..processor.families import family_names
 from ..processor.params import ProcessorConfig
 from .drup import DrupProof, check_drup
 
@@ -55,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--width", type=int, default=2, help="issue width k")
         cmd.add_argument(
             "--retire-width", type=int, default=None, help="retire width l"
+        )
+        cmd.add_argument(
+            "--family",
+            choices=family_names(),
+            default="reg-reg",
+            help="workload family (default: reg-reg)",
         )
         cmd.add_argument(
             "--method",
@@ -114,6 +121,7 @@ def _run_certified(args: argparse.Namespace):
         n_rob=args.rob,
         issue_width=args.width,
         retire_width=args.retire_width,
+        family=args.family,
     )
     bug = None
     if args.bug is not None:

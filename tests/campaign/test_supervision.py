@@ -290,7 +290,7 @@ class TestCircuitBreaker:
         ]
         assert len(opens) == 1
         assert opens[0]["threshold"] == 2
-        assert opens[0]["family"] == FAMILY_JOBS[0].family()
+        assert opens[0]["family"] == FAMILY_JOBS[0].breaker_key()
 
     def test_resume_reseeds_without_rejournaling(self, tmp_path):
         path = str(tmp_path / "breaker.jsonl")

@@ -32,6 +32,21 @@ class TestConfigDict:
         assert config_dict({"n_rob": "4", "issue_width": "2"}) == \
             config_dict({"n_rob": 4, "issue_width": 2})
 
+    def test_family_defaulting_cannot_split_the_keyspace(self):
+        # An absent family means the default register-register family;
+        # both spellings must normalize to the identical canonical dict.
+        explicit = config_dict({"n_rob": 4, "issue_width": 2,
+                                "family": "reg-reg"})
+        defaulted = config_dict({"n_rob": 4, "issue_width": 2})
+        assert explicit == defaulted
+        assert explicit["family"] == "reg-reg"
+
+    def test_family_mapping_and_dataclass_agree(self):
+        config = ProcessorConfig(n_rob=4, issue_width=2, family="mem")
+        assert config_dict(config) == config_dict(
+            {"n_rob": 4, "issue_width": 2, "family": "mem"}
+        )
+
 
 class TestCanonicalKey:
     def test_field_order_never_matters(self):
@@ -70,6 +85,18 @@ class TestCanonicalKey:
         assert canonical_key(config, {"certify": True}, REGISTRY) != \
             canonical_key(config, {}, REGISTRY)
 
+    def test_family_changes_the_key(self):
+        # Two different workload families with otherwise-identical
+        # configs must never share a cache entry.
+        options = {"method": "rewriting"}
+        keys = {
+            canonical_key(
+                ProcessorConfig(4, 2, family=family), options, REGISTRY
+            )
+            for family in ("reg-reg", "branch", "mem", "mixed")
+        }
+        assert len(keys) == 4
+
     def test_registry_version_changes_the_key(self):
         config = ProcessorConfig(4, 2)
         assert canonical_key(config, {}, "5r-000000000000") != \
@@ -94,9 +121,10 @@ class TestCrossProcessStability:
     ``hash()`` randomization or dict-order dependence may leak in."""
 
     def test_key_survives_a_process_restart(self):
-        config = {"n_rob": 12, "issue_width": 4, "retire_width": 2}
-        options = {"method": "positive_equality", "criterion": "case_split",
-                   "bug_kind": "forward-wrong-source", "bug_entry": 3,
+        config = {"n_rob": 12, "issue_width": 4, "retire_width": 2,
+                  "family": "mixed"}
+        options = {"method": "positive_equality", "criterion": "disjunction",
+                   "bug_kind": "stale-load-forward", "bug_entry": 3,
                    "certify": True}
         here = canonical_key(config, options, REGISTRY)
 

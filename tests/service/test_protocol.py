@@ -175,3 +175,55 @@ class TestJobOptions:
             assert canonical_key(
                 config, options, registry_version="t"
             ) == baseline
+
+
+class TestFamilyField:
+    def test_top_level_family_rides_on_every_job(self):
+        request = SubmitRequest.parse({"grid": "4x2,8x2", "family": "mem"})
+        assert [job.family for job in request.jobs] == ["mem", "mem"]
+        assert [job.config().family for job in request.jobs] == ["mem", "mem"]
+
+    def test_per_config_family_overrides_the_shared_one(self):
+        request = SubmitRequest.parse({
+            "family": "branch",
+            "configs": [
+                {"n_rob": 2, "issue_width": 1},
+                {"n_rob": 2, "issue_width": 1, "family": "mixed"},
+            ],
+        })
+        assert [job.family for job in request.jobs] == ["branch", "mixed"]
+
+    def test_family_default_is_reg_reg(self):
+        request = SubmitRequest.parse({"grid": "4x2"})
+        (job,) = request.jobs
+        assert job.family == "reg-reg"
+        assert job.job_id == "rw-N4-k2"  # seed ids unchanged
+
+    def test_unknown_top_level_family_is_a_400(self):
+        with pytest.raises(ServiceError) as excinfo:
+            SubmitRequest.parse({"grid": "4x2", "family": "vliw"})
+        assert _status(excinfo) == 400
+
+    def test_unknown_per_config_family_is_a_400(self):
+        with pytest.raises(ServiceError) as excinfo:
+            SubmitRequest.parse({
+                "configs": [
+                    {"n_rob": 2, "issue_width": 1, "family": "vliw"}
+                ],
+            })
+        assert _status(excinfo) == 400
+
+    def test_family_reaches_the_cache_key_options(self):
+        # Distinct families must never collide in the result cache.
+        from repro.core.keys import canonical_key
+
+        keys = set()
+        for family in ("reg-reg", "branch", "mem", "mixed"):
+            job = Job.build(4, 2, family=family)
+            keys.add(canonical_key(
+                {"n_rob": 4, "issue_width": 2, "retire_width": None,
+                 "family": family},
+                job_options(job, certify=False, analyze=False),
+                registry_version="t",
+            ))
+        assert len(keys) == 4
